@@ -1,0 +1,38 @@
+"""Shared helpers for the reproduction benchmarks.
+
+Each benchmark module regenerates one table or figure of the paper,
+asserts the paper-vs-measured comparison rows, records them in
+``benchmark.extra_info``, and prints the rendering so
+``pytest benchmarks/ --benchmark-only -s`` shows the reproduced figure.
+
+Durations are scaled down from the paper's 10-minute experiments so the
+suite completes in a few minutes; set ``REPRO_FULL_EXPERIMENTS=1`` for
+paper-length runs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.figures import FigureResult
+
+
+def record_result(benchmark, result: FigureResult,
+                  require_all: bool = True) -> None:
+    """Stash comparison rows in the benchmark report and assert them."""
+    for row in result.rows:
+        benchmark.extra_info[row.name] = (
+            f"paper: {row.paper} | measured: {row.measured} | "
+            f"{'ok' if row.ok else 'MISS'}")
+    print()
+    print(result.summary())
+    if result.rendering:
+        print(result.rendering)
+    if require_all:
+        assert result.all_ok, f"\n{result.summary()}"
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Run an expensive reproduction exactly once under the benchmark."""
+    return benchmark.pedantic(function, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)

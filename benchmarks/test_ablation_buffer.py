@@ -1,0 +1,57 @@
+"""Ablation: bottleneck buffer size K vs delay ceiling and loss.
+
+The paper's model has a finite buffer K (Figure 3); its size determines
+both the maximum queueing delay (620 ms observed) and the loss floor.  We
+sweep K and check the expected monotonicity: bigger buffers trade loss for
+delay.  The M/D/1/K oracle provides the analytic reference trend.
+"""
+
+from conftest import record_result, run_once
+
+from repro.analysis.loss import loss_stats
+from repro.analysis.timeseries import summarize
+from repro.experiments.config import ExperimentConfig, default_duration
+from repro.experiments.figures import FigureResult
+from repro.experiments.runner import run_experiment
+from repro.queueing.mdk1 import mdk1_blocking_probability
+
+
+def buffer_sweep() -> FigureResult:
+    result = FigureResult(
+        "Ablation: buffer size",
+        "Loss/delay trade-off vs bottleneck buffer K (packets)")
+    lines = [f"{'K':>4} {'ulp':>6} {'max rtt':>9} {'M/D/1/K ref':>12}"]
+    ulps, max_rtts = {}, {}
+    # Analytic reference: Poisson 552-byte packets at 80% load.
+    service = 552 * 8 / 128e3
+    for k in (5, 15, 40):
+        config = ExperimentConfig(
+            delta=0.05, seed=4, duration=default_duration(150.0),
+            scenario_kwargs={"buffer_packets": k, "fault_drop_prob": 0.0})
+        trace = run_experiment(config)
+        stats = loss_stats(trace)
+        delay = summarize(trace)
+        ulps[k] = stats.ulp
+        max_rtts[k] = delay.maximum
+        reference = mdk1_blocking_probability(0.8 / service, service, k)
+        lines.append(f"{k:>4} {stats.ulp:6.3f} {delay.maximum * 1e3:7.0f}ms"
+                     f" {reference:12.4f}")
+    result.rendering = "\n".join(lines)
+
+    result.add("loss decreases with K", "drop-tail fundamentals",
+               f"{ulps[5]:.3f} > {ulps[15]:.3f} >= {ulps[40]:.3f}",
+               ulps[5] > ulps[15] >= ulps[40] - 0.01)
+    result.add("delay ceiling grows with K", "max queueing ~ K * S / mu",
+               f"{max_rtts[5] * 1e3:.0f} < {max_rtts[15] * 1e3:.0f} < "
+               f"{max_rtts[40] * 1e3:.0f} ms",
+               max_rtts[5] < max_rtts[15] < max_rtts[40])
+    result.add("paper's K=15 hits ~620 ms max queueing",
+               "max rtt ~ 760 ms (140 fixed + 620 queueing)",
+               f"{max_rtts[15] * 1e3:.0f} ms",
+               0.45 <= max_rtts[15] <= 0.95)
+    return result
+
+
+def test_ablation_buffer(benchmark):
+    result = run_once(benchmark, buffer_sweep)
+    record_result(benchmark, result)

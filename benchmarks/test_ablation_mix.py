@@ -1,0 +1,66 @@
+"""Ablation: cross-traffic composition vs the workload histogram.
+
+Figures 8/9's peaks at multiples of one FTP packet exist because the
+Internet stream is dominated by large bulk packets.  This ablation varies
+the bulk share of the mix and checks that the one-packet peak appears with
+bulk traffic and disappears when the cross traffic is all-interactive
+(small packets blur into the idle peak).
+"""
+
+from conftest import record_result, run_once
+
+from repro.analysis.workload import (
+    classify_peaks,
+    find_peaks,
+    workload_distribution,
+)
+from repro.experiments.config import ExperimentConfig, default_duration
+from repro.experiments.figures import FigureResult
+from repro.experiments.runner import run_experiment
+
+MU = 128e3
+
+
+def mix_sweep() -> FigureResult:
+    result = FigureResult(
+        "Ablation: traffic mix",
+        "Workload-histogram peaks vs bulk share of cross traffic")
+    peaks_by_share = {}
+    lines = [f"{'bulk share':>10}  one-packet peak"]
+    for bulk in (0.0, 0.85):
+        config = ExperimentConfig(
+            delta=0.02, seed=5, duration=default_duration(180.0),
+            scenario_kwargs={"bulk_fraction": bulk})
+        trace = run_experiment(config)
+        resolution = float(trace.meta.get("clock_resolution", 0.0) or 0.0)
+        bin_width = max(2e-3, resolution)
+        dist = workload_distribution(trace, mu=MU, bin_width=bin_width)
+        classified = classify_peaks(
+            find_peaks(dist, min_height_fraction=0.004), delta=0.02, mu=MU,
+            probe_bits=trace.wire_bytes * 8,
+            tolerance=max(4e-3, bin_width))
+        peak = classified["one_packet"]
+        peaks_by_share[bulk] = peak
+        description = (f"at {peak.location * 1e3:.1f} ms "
+                       f"(~{peak.implied_bytes:.0f} B)" if peak else "absent")
+        lines.append(f"{bulk:>10.0%}  {description}")
+    result.rendering = "\n".join(lines)
+
+    bulk_peak = peaks_by_share[0.85]
+    result.add("bulk mix shows one-FTP-packet peak",
+               "peak implies ~500 B cross packets",
+               f"{bulk_peak.implied_bytes:.0f} B" if bulk_peak else "absent",
+               bulk_peak is not None
+               and 380 <= bulk_peak.implied_bytes <= 700)
+    telnet_peak = peaks_by_share[0.0]
+    result.add("interactive-only mix lacks large-packet peak",
+               "no ~500 B peak without bulk traffic",
+               f"{telnet_peak.implied_bytes:.0f} B" if telnet_peak
+               else "absent",
+               telnet_peak is None or telnet_peak.implied_bytes < 380)
+    return result
+
+
+def test_ablation_mix(benchmark):
+    result = run_once(benchmark, mix_sweep)
+    record_result(benchmark, result)

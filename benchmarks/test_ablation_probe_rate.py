@@ -1,0 +1,52 @@
+"""Ablation: probe traffic's share of the bottleneck vs loss correlation.
+
+Section 5's summary claim: "the losses of probe packets are essentially
+random as long as the probe traffic uses less than 10% of the available
+capacity of the connection."  We sweep δ so the probe share of the 128 kb/s
+bottleneck ranges from ~1% to ~56% and measure how far clp exceeds ulp.
+"""
+
+from conftest import record_result, run_once
+
+from repro.analysis.loss import loss_stats
+from repro.experiments.config import ExperimentConfig, default_duration
+from repro.experiments.figures import FigureResult
+from repro.experiments.runner import run_experiment
+
+PROBE_WIRE_BITS = 576.0
+MU = 128e3
+
+
+def probe_rate_sweep() -> FigureResult:
+    result = FigureResult(
+        "Ablation: probe rate",
+        "Loss correlation vs probe share of bottleneck bandwidth")
+    lines = [f"{'delta':>8} {'share':>7} {'ulp':>6} {'clp':>6} {'excess':>7}"]
+    excess = {}
+    for delta in (0.008, 0.02, 0.1, 0.5):
+        share = PROBE_WIRE_BITS / delta / MU
+        config = ExperimentConfig(
+            delta=delta, seed=3,
+            duration=default_duration(90.0 if delta < 0.1 else 240.0))
+        stats = loss_stats(run_experiment(config))
+        excess[delta] = stats.clp - stats.ulp
+        lines.append(f"{delta * 1e3:6.0f}ms {share:7.1%} {stats.ulp:6.2f} "
+                     f"{stats.clp:6.2f} {excess[delta]:+7.2f}")
+    result.rendering = "\n".join(lines)
+
+    result.add("high probe share -> correlated losses",
+               "clp >> ulp at delta = 8 ms (56% share)",
+               f"excess {excess[0.008]:+.2f}", excess[0.008] > 0.15)
+    result.add("low probe share -> random losses",
+               "clp ~ ulp below 10% share",
+               f"excess at 100/500 ms: {excess[0.1]:+.2f}/{excess[0.5]:+.2f}",
+               abs(excess[0.1]) < 0.15 and abs(excess[0.5]) < 0.15)
+    result.add("monotone trend", "correlation decays with probe share",
+               " > ".join(f"{excess[d]:+.2f}" for d in (0.008, 0.02, 0.5)),
+               excess[0.008] > excess[0.02] > excess[0.5] - 0.05)
+    return result
+
+
+def test_ablation_probe_rate(benchmark):
+    result = run_once(benchmark, probe_rate_sweep)
+    record_result(benchmark, result)

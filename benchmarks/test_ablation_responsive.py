@@ -1,0 +1,85 @@
+"""Ablation: open-loop vs congestion-controlled (TCP-like) cross traffic.
+
+Our Table 3 reproduction overshoots the paper's δ = 8 ms loss (0.36 vs
+0.23) because the open-loop FTP sources keep transmitting while the probe
+flood (56% of the bottleneck) congests the link.  Real 1992 bulk traffic
+was TCP and *backed off*.  This ablation replaces the open-loop bulk mix
+with mini-TCP transfers and shows the probe loss at δ = 8 ms moves toward
+the paper's value, while δ = 100 ms (probes only ~4.5% of the link) is
+barely affected.
+"""
+
+from conftest import record_result, run_once
+
+from repro.analysis.loss import loss_stats
+from repro.experiments.figures import FigureResult
+from repro.netdyn.session import run_probe_experiment
+from repro.topology.inria_umd import build_inria_umd
+from repro.traffic.tcpflows import ResponsiveBulkSource
+
+
+def probe_with_responsive_traffic(delta: float, count: int, seed: int):
+    # Open-loop interactive share only; bulk replaced by mini-TCP flows.
+    scenario = build_inria_umd(seed=seed, utilization_fwd=0.10,
+                               utilization_rev=0.09, bulk_fraction=0.0)
+    scenario.start_traffic()
+    tcp_fwd = ResponsiveBulkSource(
+        scenario.network.host("cross-fr.icp.net"),
+        scenario.network.host("cross-us.nsf.net"),
+        session_rate=0.4, mean_file_segments=20.0, stream="tcp.fwd",
+        base_port=20_000, max_window=6.0)
+    tcp_rev = ResponsiveBulkSource(
+        scenario.network.host("cross-us.nsf.net"),
+        scenario.network.host("cross-fr.icp.net"),
+        session_rate=0.36, mean_file_segments=20.0, stream="tcp.rev",
+        base_port=40_000, max_window=6.0)
+    tcp_fwd.start()
+    tcp_rev.start()
+    return run_probe_experiment(scenario.network, scenario.source,
+                                scenario.echo, delta=delta, count=count,
+                                start_at=30.0)
+
+
+def probe_with_open_loop_traffic(delta: float, count: int, seed: int):
+    scenario = build_inria_umd(seed=seed)
+    scenario.start_traffic()
+    return run_probe_experiment(scenario.network, scenario.source,
+                                scenario.echo, delta=delta, count=count,
+                                start_at=30.0)
+
+
+def responsive_sweep() -> FigureResult:
+    result = FigureResult(
+        "Ablation: responsive traffic",
+        "Probe loss with open-loop vs TCP-like cross traffic")
+    rows = {}
+    lines = [f"{'delta':>8} {'open-loop ulp':>14} {'tcp ulp':>9}"]
+    for delta, count in ((0.008, 12000), (0.1, 1800)):
+        open_loop = loss_stats(
+            probe_with_open_loop_traffic(delta, count, seed=6))
+        responsive = loss_stats(
+            probe_with_responsive_traffic(delta, count, seed=6))
+        rows[delta] = (open_loop, responsive)
+        lines.append(f"{delta * 1e3:6.0f}ms {open_loop.ulp:14.3f} "
+                     f"{responsive.ulp:9.3f}")
+    result.rendering = "\n".join(lines)
+
+    open_8, tcp_8 = rows[0.008]
+    result.add("TCP cross traffic yields to the probe flood",
+               "paper measured ulp 0.23 at delta=8ms; open-loop "
+               "over-shoots",
+               f"open-loop {open_8.ulp:.2f} vs tcp {tcp_8.ulp:.2f}",
+               tcp_8.ulp < open_8.ulp)
+    result.add("delta=8ms loss moves toward the paper's 0.23",
+               "0.23", f"{tcp_8.ulp:.2f}", 0.10 <= tcp_8.ulp <= 0.34)
+    open_100, tcp_100 = rows[0.1]
+    result.add("low probe rates barely affected",
+               "both near the ~0.10 floor",
+               f"open-loop {open_100.ulp:.2f} vs tcp {tcp_100.ulp:.2f}",
+               abs(open_100.ulp - tcp_100.ulp) < 0.1)
+    return result
+
+
+def test_ablation_responsive(benchmark):
+    result = run_once(benchmark, responsive_sweep)
+    record_result(benchmark, result)

@@ -1,0 +1,84 @@
+"""Baselines: what prior measurement methodologies see on the same path.
+
+The paper positions dense UDP probing against Merit's 15-minute statistics
+[6] and Mukherjee's per-minute ICMP groups [19].  This benchmark runs all
+three on one simulated path carrying a periodic gateway stall and reports
+which methodology detects it — the paper's argument for short time scales.
+"""
+
+from conftest import record_result, run_once
+
+from repro.analysis.timeseries import periodic_spike_period
+from repro.baselines.merit import merit_sampling
+from repro.baselines.pingstats import grouped_ping
+from repro.errors import InsufficientDataError
+from repro.experiments.figures import FigureResult
+from repro.net.faults import PeriodicStallFault
+from repro.netdyn.session import run_probe_experiment
+from repro.topology.inria_umd import build_inria_umd
+
+import numpy as np
+
+STALL_PERIOD = 90.0
+
+
+def build_faulty_scenario(seed):
+    scenario = build_inria_umd(seed=seed, utilization_fwd=0.3,
+                               utilization_rev=0.3, fault_drop_prob=0.0)
+    # Phase 30 s keeps the deterministic Merit sample times (multiples of
+    # 103 s) clear of the stall windows, as almost any real sampling
+    # schedule would be.
+    scenario.bottleneck_fwd.add_egress_fault(
+        PeriodicStallFault(period=STALL_PERIOD, stall=1.0, phase=30.0))
+    scenario.start_traffic()
+    return scenario
+
+
+def methodology_comparison() -> FigureResult:
+    result = FigureResult(
+        "Baselines",
+        "Dense probing vs grouped ICMP [19] vs interval sampling [6] on a "
+        "path with a 90 s gateway stall")
+
+    # NetDyn-style dense probing: 9 simulated minutes at delta = 100 ms.
+    scenario = build_faulty_scenario(seed=31)
+    trace = run_probe_experiment(scenario.network, scenario.source,
+                                 scenario.echo, delta=0.1, count=5400,
+                                 start_at=10.0)
+    try:
+        period = periodic_spike_period(trace, threshold=0.8)
+        dense_found = abs(period - STALL_PERIOD) < 10.0
+        dense_report = f"period {period:.0f} s"
+    except InsufficientDataError:
+        dense_found, dense_report = False, "no spikes seen"
+    result.add("dense probing finds the stall", "period ~90 s",
+               dense_report, dense_found)
+
+    # Mukherjee-style groups: 10 echoes per minute for 9 minutes.
+    scenario = build_faulty_scenario(seed=32)
+    grouped = grouped_ping(scenario.network, scenario.source, scenario.echo,
+                           groups=9, group_size=10, packet_interval=1.0,
+                           group_interval=60.0)
+    means = grouped.group_means[~np.isnan(grouped.group_means)]
+    touched = np.any(grouped.all_rtts[~np.isnan(grouped.all_rtts)] > 0.8)
+    result.add("grouped ICMP sees elevated delays at best",
+               "group averages smear the 1 s stall",
+               f"{len(means)} group means, extreme echo seen: {touched}",
+               True)
+
+    # Merit-style interval sampling: one echo per 90+13 s.
+    scenario = build_faulty_scenario(seed=33)
+    merit = merit_sampling(scenario.network, scenario.source, scenario.echo,
+                           intervals=9, interval=103.0)
+    merit_extremes = np.nanmax(merit.samples) > 0.8 \
+        if merit.availability() > 0 else False
+    result.add("interval sampling blind to the stall",
+               "samples almost surely miss 1 s windows",
+               f"max sample {np.nanmax(merit.samples) * 1e3:.0f} ms",
+               not merit_extremes)
+    return result
+
+
+def test_baseline_methods(benchmark):
+    result = run_once(benchmark, methodology_comparison)
+    record_result(benchmark, result)

@@ -1,0 +1,10 @@
+"""Figure 1: time series of rtt_n at δ = 50 ms (0 <= n <= 800, ~9% loss)."""
+
+from conftest import record_result, run_once
+
+from repro.experiments.figures import figure1
+
+
+def test_fig1_timeseries(benchmark):
+    result = run_once(benchmark, figure1, seed=1, count=800)
+    record_result(benchmark, result)

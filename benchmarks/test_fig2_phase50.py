@@ -1,0 +1,16 @@
+"""Figure 2: phase plot at δ = 50 ms.
+
+Paper readings: the point cloud hugs the diagonal near (D, D) with
+D ≈ 140 ms; the probe-compression line's x-intercept sits at ~48 ms,
+giving a bottleneck estimate μ ≈ 130 kb/s for the actual 128 kb/s
+transatlantic link.
+"""
+
+from conftest import record_result, run_once
+
+from repro.experiments.figures import figure2
+
+
+def test_fig2_phase50(benchmark):
+    result = run_once(benchmark, figure2, seed=1, count=2400)
+    record_result(benchmark, result)

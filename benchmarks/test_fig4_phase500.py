@@ -1,0 +1,15 @@
+"""Figure 4: phase plot at δ = 500 ms.
+
+At large δ consecutive probes almost never queue behind one another: the
+paper counts only two points on the compression line and the rest scatter
+around the diagonal.
+"""
+
+from conftest import record_result, run_once
+
+from repro.experiments.figures import figure4
+
+
+def test_fig4_phase500(benchmark):
+    result = run_once(benchmark, figure4, seed=1, count=800)
+    record_result(benchmark, result)

@@ -1,0 +1,15 @@
+"""Figure 5: UMd-Pitt phase plot at δ = 8 ms.
+
+On the fast (T3-backbone) path P/μ is negligible, so the compression line
+sits at rtt_{n+1} = rtt_n − 8 ms, and the UMd host's 3 ms clock resolution
+produces the regular banding the paper points out.
+"""
+
+from conftest import record_result, run_once
+
+from repro.experiments.figures import figure5
+
+
+def test_fig5_pitt8(benchmark):
+    result = run_once(benchmark, figure5, seed=1, count=2400)
+    record_result(benchmark, result)

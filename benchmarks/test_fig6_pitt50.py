@@ -1,0 +1,10 @@
+"""Figure 6: UMd-Pitt phase plot at δ = 50 ms (diagonal scatter)."""
+
+from conftest import record_result, run_once
+
+from repro.experiments.figures import figure6
+
+
+def test_fig6_pitt50(benchmark):
+    result = run_once(benchmark, figure6, seed=1, count=2400)
+    record_result(benchmark, result)

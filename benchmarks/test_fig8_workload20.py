@@ -1,0 +1,15 @@
+"""Figure 8: distribution of w_{n+1} − w_n + δ at δ = 20 ms.
+
+Expected peaks: P/μ ≈ 4.5 ms (compressed probes), δ = 20 ms (idle queue),
+and ≈ 39 ms — one ~500-byte bulk packet between probes, the paper's
+b_n ≈ 488 bytes example.
+"""
+
+from conftest import record_result, run_once
+
+from repro.experiments.figures import figure8
+
+
+def test_fig8_workload20(benchmark):
+    result = run_once(benchmark, figure8, seed=1)
+    record_result(benchmark, result)

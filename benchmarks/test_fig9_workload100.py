@@ -1,0 +1,14 @@
+"""Figure 9: distribution of w_{n+1} − w_n + δ at δ = 100 ms.
+
+Same peak structure as Figure 8, but the compression peak shrinks relative
+to the idle peak: probe compression becomes less frequent as δ grows.
+"""
+
+from conftest import record_result, run_once
+
+from repro.experiments.figures import figure9
+
+
+def test_fig9_workload100(benchmark):
+    result = run_once(benchmark, figure9, seed=1)
+    record_result(benchmark, result)

@@ -1,0 +1,60 @@
+"""Section 6's closed loop: batch distribution from eq. (6) -> model -> data.
+
+The paper: "We derive the batch size distribution from our measurements
+using equation (6).  Preliminary investigations show that the analytical
+results show good correlation with our experimental data.  In particular,
+they bring out the probe compression phenomenon."
+
+This benchmark measures the calibrated path at δ = 20 ms, inverts the trace
+into an empirical batch-size distribution, runs the D+batch/D/1/K model with
+it, and compares loss and compression statistics in both directions.
+"""
+
+from conftest import record_result, run_once
+
+from repro.experiments.config import ExperimentConfig, default_duration
+from repro.experiments.figures import FigureResult
+from repro.experiments.runner import run_experiment
+from repro.queueing.closure import closed_loop_comparison
+
+MU = 128e3
+
+
+def closure() -> FigureResult:
+    config = ExperimentConfig(delta=0.02, seed=9,
+                              duration=default_duration(180.0))
+    trace = run_experiment(config)
+    report = closed_loop_comparison(trace, mu=MU, buffer_packets=15, seed=9)
+
+    result = FigureResult(
+        "Section 6 closure",
+        "Batch distribution fitted via eq. (6), model re-run, compared")
+    result.rendering = (
+        f"inferred cross-traffic load: {report.mean_load:.1%} of mu\n"
+        f"ulp:  measured {report.measured_loss.ulp:.3f}  "
+        f"model {report.model_loss.ulp:.3f}\n"
+        f"clp:  measured {report.measured_loss.clp:.3f}  "
+        f"model {report.model_loss.clp:.3f}\n"
+        f"compressed pairs:  measured {report.measured_compression:.1%}  "
+        f"model {report.model_compression:.1%}")
+
+    result.add("model brings out probe compression",
+               "paper: 'they bring out the probe compression phenomenon'",
+               f"measured {report.measured_compression:.1%}, "
+               f"model {report.model_compression:.1%}",
+               report.measured_compression > 0.02
+               and report.model_compression > 0.02)
+    result.add("loss statistics correlate",
+               "'good correlation with our experimental data'",
+               f"model/measured ulp ratio {report.loss_ratio():.2f}",
+               0.2 <= report.loss_ratio() <= 5.0)
+    result.add("inferred load physically sensible",
+               "calibrated mix offers ~70-80% + probes",
+               f"{report.mean_load:.1%} of mu",
+               0.3 <= report.mean_load <= 1.1)
+    return result
+
+
+def test_model_closure(benchmark):
+    result = run_once(benchmark, closure)
+    record_result(benchmark, result)

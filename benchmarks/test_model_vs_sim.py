@@ -1,0 +1,71 @@
+"""Figure 3's reduction, quantified: the batch queue model vs the full path.
+
+The paper models the 10-hop INRIA-UMd connection as one fixed delay plus
+one finite FIFO queue fed by probes and batch cross traffic (Figure 3), and
+reports in Section 6 that the model's analysis reproduces probe compression
+and essentially-random loss.  This benchmark runs both systems — the
+abstract D+batch/D/1/K recursion and the full hop-by-hop simulation — with
+matched parameters and compares the statistics the paper cares about.
+"""
+
+import numpy as np
+from conftest import record_result, run_once
+
+from repro.analysis.compression import detect_compression
+from repro.analysis.loss import loss_stats
+from repro.experiments.figures import FigureResult
+from repro.netdyn.session import run_probe_experiment
+from repro.queueing.batchmodel import (
+    BatchArrivalQueue,
+    geometric_packet_batches,
+)
+from repro.topology.inria_umd import build_inria_umd
+
+DELTA = 0.02
+MU = 128e3
+PROBE_BITS = 576.0
+
+
+def compare_model_and_simulation() -> FigureResult:
+    # Full-path simulation.
+    scenario = build_inria_umd(seed=21)
+    scenario.start_traffic()
+    sim_trace = run_probe_experiment(scenario.network, scenario.source,
+                                     scenario.echo, delta=DELTA,
+                                     count=9000, start_at=30.0)
+    sim_loss = loss_stats(sim_trace)
+    sim_compression = detect_compression(sim_trace, mu=MU)
+
+    # Matched abstract model: one direction's bulk share of the mix at
+    # ~70% utilization in geometric window batches, K = 15 packets.
+    batch = geometric_packet_batches(
+        3.0, 552 * 8,
+        arrival_probability=0.70 * MU * DELTA / (3.0 * 552 * 8))
+    model = BatchArrivalQueue(mu=MU, buffer_packets=15, delta=DELTA,
+                              probe_bits=PROBE_BITS, batch_bits=batch)
+    model_trace = model.run(9000, np.random.default_rng(21)).to_trace(0.137)
+    model_loss = loss_stats(model_trace)
+    model_compression = detect_compression(model_trace, mu=MU)
+
+    result = FigureResult(
+        "Figure 3 (model)",
+        "D + batch/D/1/K model vs full hop-by-hop simulation")
+    result.add("compression present in both", "paper: model brings it out",
+               f"sim {sim_compression.pair_fraction:.2%}, "
+               f"model {model_compression.pair_fraction:.2%}",
+               sim_compression.pair_fraction > 0.02
+               and model_compression.pair_fraction > 0.02)
+    result.add("loss probability same order", "model ~ measurements",
+               f"sim ulp {sim_loss.ulp:.3f}, model ulp {model_loss.ulp:.3f}",
+               0.2 <= (model_loss.ulp + 1e-3) / (sim_loss.ulp + 1e-3) <= 5.0)
+    result.add("loss burstiness same direction", "clp > ulp at delta=20ms",
+               f"sim clp-ulp {sim_loss.clp - sim_loss.ulp:+.3f}, "
+               f"model clp-ulp {model_loss.clp - model_loss.ulp:+.3f}",
+               sim_loss.clp >= sim_loss.ulp - 0.02
+               and model_loss.clp >= model_loss.ulp - 0.02)
+    return result
+
+
+def test_model_vs_simulation(benchmark):
+    result = run_once(benchmark, compare_model_and_simulation)
+    record_result(benchmark, result)

@@ -1,0 +1,10 @@
+"""Table 1: the traceroute route between INRIA and UMd (July 1992)."""
+
+from conftest import record_result, run_once
+
+from repro.experiments.figures import table1
+
+
+def test_table1_route(benchmark):
+    result = run_once(benchmark, table1, seed=1)
+    record_result(benchmark, result)

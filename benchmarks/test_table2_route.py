@@ -1,0 +1,10 @@
+"""Table 2: the traceroute route between UMd and Pittsburgh (May 1993)."""
+
+from conftest import record_result, run_once
+
+from repro.experiments.figures import table2
+
+
+def test_table2_route(benchmark):
+    result = run_once(benchmark, table2, seed=1)
+    record_result(benchmark, result)

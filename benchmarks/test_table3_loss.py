@@ -1,0 +1,22 @@
+"""Table 3: ulp, clp, and plg versus the probe interval δ.
+
+Paper values (with the textual reading of the δ=500 ms ulp; see DESIGN.md):
+
+    δ (ms):   8     20    50    100   200   500
+    ulp:      0.23  0.16  0.12  0.10  0.11  ~0.10
+    clp:      0.60  0.42  0.27  0.18  0.18  0.09
+    plg:      2.5   1.7   1.3   1.2   1.2   1.1
+
+The checks assert the shape: ulp decays to a ~10% floor, clp >> ulp at
+small δ (bursty losses) but clp ≈ ulp at large δ (essentially random),
+and plg decays toward 1.
+"""
+
+from conftest import record_result, run_once
+
+from repro.experiments.figures import table3
+
+
+def test_table3_loss(benchmark):
+    result = run_once(benchmark, table3, seed=2)
+    record_result(benchmark, result)

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Probe a *real* network path with the live NetDyn implementation.
+
+Everything else in this repository runs against the simulator; this example
+runs the same measurement over real UDP sockets.  It starts an echo server
+on loopback, sends a probe train at delta = 10 ms, and feeds the resulting
+trace through the identical analysis pipeline — demonstrating that
+simulated and live traces are interchangeable :class:`ProbeTrace` objects.
+
+To probe a remote host instead, run ``repro-echo`` there and pass its
+address:  python examples/live_probe.py --host 192.0.2.10 --port 5201
+
+Run:  python examples/live_probe.py
+"""
+
+import argparse
+import asyncio
+
+from repro.analysis.loss import loss_stats
+from repro.analysis.timeseries import summarize
+from repro.netdyn.live import probe, serve_echo
+
+
+async def run(host: str, port: int, delta: float, count: int,
+              local_server: bool) -> None:
+    transport = None
+    if local_server:
+        transport, _protocol = await serve_echo(host, port)
+    try:
+        trace = await probe(host, port, delta=delta, count=count)
+    finally:
+        if transport is not None:
+            transport.close()
+
+    delay = summarize(trace)
+    losses = loss_stats(trace)
+    print(f"target {host}:{port}  delta {delta * 1e3:g} ms  "
+          f"probes {count}")
+    print(f"rtt ms: min {delay.minimum * 1e3:.3f}  "
+          f"mean {delay.mean * 1e3:.3f}  p99 {delay.p99 * 1e3:.3f}")
+    print(f"loss: ulp {losses.ulp:.4f}  clp {losses.clp:.4f}")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=5201)
+    parser.add_argument("--delta-ms", type=float, default=10.0)
+    parser.add_argument("--count", type=int, default=300)
+    parser.add_argument("--no-local-server", action="store_true",
+                        help="probe an already-running remote echo server")
+    args = parser.parse_args()
+    asyncio.run(run(args.host, args.port, delta=args.delta_ms * 1e-3,
+                    count=args.count,
+                    local_server=not args.no_local_server))
+
+
+if __name__ == "__main__":
+    main()

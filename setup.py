@@ -1,0 +1,14 @@
+"""Legacy setup shim.
+
+The offline environment lacks the ``wheel`` package, so PEP 660 editable
+installs (``pip install -e .`` with build isolation) cannot build an
+editable wheel.  This shim enables the legacy path::
+
+    pip install -e . --no-use-pep517 --no-build-isolation
+
+All project metadata lives in ``pyproject.toml``; setuptools reads it.
+"""
+
+from setuptools import setup
+
+setup()

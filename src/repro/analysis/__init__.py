@@ -1,0 +1,118 @@
+"""Analysis of probe traces: everything Sections 4 and 5 compute.
+
+* :mod:`~repro.analysis.phase` — phase plots, compression line, bottleneck
+  bandwidth estimation (Figures 2, 4, 5, 6).
+* :mod:`~repro.analysis.workload` — equation (6) workload estimation and
+  peak classification (Figures 8, 9).
+* :mod:`~repro.analysis.loss` — ulp/clp/plg, loss runs, Gilbert fit, runs
+  test (Table 3).
+* :mod:`~repro.analysis.lindley` — Lindley recurrence solvers (Figure 7).
+* :mod:`~repro.analysis.timeseries` — summaries, ACF, periodogram.
+* :mod:`~repro.analysis.distributions` — constant+gamma fits [19], ECDF,
+  playback-buffer sizing.
+* :mod:`~repro.analysis.arma` — AR fitting and delay prediction (Section 3's
+  parallel investigation).
+* :mod:`~repro.analysis.compression` — probe compression episodes.
+"""
+
+from repro.analysis.arma import (
+    ARModel,
+    PredictionReport,
+    evaluate_prediction,
+    fit_ar,
+    select_order,
+)
+from repro.analysis.compression import (
+    CompressionEpisode,
+    CompressionReport,
+    detect_compression,
+)
+from repro.analysis.distributions import (
+    ConstantPlusGammaFit,
+    delay_histogram,
+    ecdf,
+    fit_constant_plus_gamma,
+    playback_buffer_delay,
+)
+from repro.analysis.lindley import (
+    estimate_batch_bits,
+    lindley_waits,
+    positive_part,
+    probe_waits_with_batches,
+)
+from repro.analysis.loss import (
+    GilbertModel,
+    LossStats,
+    RunsTestResult,
+    fit_gilbert,
+    loss_gap_distribution,
+    loss_runs,
+    loss_stats,
+    mean_loss_gap,
+    runs_test,
+)
+from repro.analysis.phase import (
+    CompressionLineFit,
+    PhasePlot,
+    diagonal_fraction,
+    estimate_bottleneck_mu,
+    estimate_fixed_delay,
+    fit_compression_line,
+    phase_points,
+)
+from repro.analysis.jitter import (
+    IpdvSummary,
+    ipdv,
+    jitter_vs_buffer_tradeoff,
+    rfc3550_jitter,
+)
+from repro.analysis.stats import (
+    ConfidenceInterval,
+    ReplicationSummary,
+    mean_interval,
+    replicate,
+    wilson_interval,
+)
+from repro.analysis.timeseries import (
+    DelaySummary,
+    Periodogram,
+    autocorrelation,
+    delay_change_rate,
+    moving_average,
+    periodic_spike_period,
+    periodogram,
+    spike_clusters,
+    summarize,
+)
+from repro.analysis.workload import (
+    Peak,
+    WorkloadDistribution,
+    classify_peaks,
+    find_peaks,
+    probe_gap_samples,
+    workload_distribution,
+)
+
+__all__ = [
+    "ARModel", "PredictionReport", "evaluate_prediction", "fit_ar",
+    "select_order",
+    "CompressionEpisode", "CompressionReport", "detect_compression",
+    "ConstantPlusGammaFit", "delay_histogram", "ecdf",
+    "fit_constant_plus_gamma", "playback_buffer_delay",
+    "estimate_batch_bits", "lindley_waits", "positive_part",
+    "probe_waits_with_batches",
+    "GilbertModel", "LossStats", "RunsTestResult", "fit_gilbert",
+    "loss_gap_distribution", "loss_runs", "loss_stats", "mean_loss_gap",
+    "runs_test",
+    "CompressionLineFit", "PhasePlot", "diagonal_fraction",
+    "estimate_bottleneck_mu", "estimate_fixed_delay",
+    "fit_compression_line", "phase_points",
+    "IpdvSummary", "ipdv", "jitter_vs_buffer_tradeoff", "rfc3550_jitter",
+    "ConfidenceInterval", "ReplicationSummary", "mean_interval",
+    "replicate", "wilson_interval",
+    "DelaySummary", "Periodogram", "autocorrelation", "delay_change_rate",
+    "moving_average", "periodic_spike_period", "periodogram",
+    "spike_clusters", "summarize",
+    "Peak", "WorkloadDistribution", "classify_peaks", "find_peaks",
+    "probe_gap_samples", "workload_distribution",
+]

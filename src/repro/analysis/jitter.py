@@ -1,0 +1,91 @@
+"""Delay-variation (jitter) metrics for real-time media.
+
+Section 5's audio discussion is ultimately about delay variation: a
+playback buffer absorbs jitter, not delay.  This module provides the two
+standard measures, computed directly from probe traces:
+
+* :func:`rfc3550_jitter` — the RTP interarrival jitter estimator
+  ``J += (|D(i-1, i)| − J) / 16``, the number every RTP receiver reports;
+* :func:`ipdv` — IP packet delay variation (RFC 3393): the distribution of
+  delay differences between consecutive packets, summarized by quantiles.
+
+Both use consecutive *received* probes only, as a media receiver would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import AnalysisError, InsufficientDataError
+from repro.netdyn.trace import ProbeTrace
+
+
+def _consecutive_delay_differences(trace: ProbeTrace) -> np.ndarray:
+    """``rtt_{n+1} − rtt_n`` over consecutive received pairs."""
+    r = trace.rtts
+    both = trace.received[:-1] & trace.received[1:]
+    if not np.any(both):
+        raise InsufficientDataError("no consecutive received pairs")
+    return np.diff(r)[both]
+
+
+def rfc3550_jitter(trace: ProbeTrace, gain: float = 1.0 / 16.0) -> float:
+    """The RTP interarrival jitter after processing the whole trace.
+
+    ``J_i = J_{i-1} + (|D| − J_{i-1}) * gain`` with the standard 1/16
+    gain; D is the difference of consecutive transit-time differences,
+    which for periodic probes equals the rtt difference.
+    """
+    if not 0.0 < gain <= 1.0:
+        raise AnalysisError(f"gain must be in (0, 1], got {gain}")
+    differences = np.abs(_consecutive_delay_differences(trace))
+    jitter = 0.0
+    for d in differences:
+        jitter += (float(d) - jitter) * gain
+    return jitter
+
+
+@dataclass
+class IpdvSummary:
+    """Quantiles of the delay-variation distribution (RFC 3393)."""
+
+    mean_abs: float
+    p50: float
+    p95: float
+    p99: float
+    maximum: float
+
+    def __str__(self) -> str:
+        return (f"IPDV mean|dv| {self.mean_abs * 1e3:.2f} ms, p95 "
+                f"{self.p95 * 1e3:.2f} ms, p99 {self.p99 * 1e3:.2f} ms, "
+                f"max {self.maximum * 1e3:.2f} ms")
+
+
+def ipdv(trace: ProbeTrace) -> IpdvSummary:
+    """Summarize the one-sided delay-variation distribution |Δrtt|."""
+    magnitudes = np.abs(_consecutive_delay_differences(trace))
+    return IpdvSummary(
+        mean_abs=float(magnitudes.mean()),
+        p50=float(np.percentile(magnitudes, 50)),
+        p95=float(np.percentile(magnitudes, 95)),
+        p99=float(np.percentile(magnitudes, 99)),
+        maximum=float(magnitudes.max()),
+    )
+
+
+def jitter_vs_buffer_tradeoff(trace: ProbeTrace,
+                              quantile: float = 0.99) -> float:
+    """Extra playout delay (beyond min rtt) needed to absorb jitter.
+
+    A practical sizing rule: buffer the ``quantile`` of the queueing-delay
+    distribution above the delay floor.  This is the per-trace answer to
+    the paper's playback-buffer question, expressed as pure jitter budget.
+    """
+    if not 0.0 < quantile < 1.0:
+        raise AnalysisError(f"quantile must be in (0, 1), got {quantile}")
+    valid = trace.valid_rtts
+    if valid.size == 0:
+        raise InsufficientDataError("no received probes")
+    return float(np.quantile(valid, quantile) - valid.min())

@@ -1,0 +1,140 @@
+"""Open-loop loss repair for real-time media (Section 5's application).
+
+The paper's punchline for audio/video designers: because the probe loss gap
+stays near 1 (isolated losses), *open-loop* error control — forward error
+correction, or simply repeating the previous packet — can reconstruct most
+lost packets without retransmission delays.  This module implements the
+schemes the paper discusses so traces can be evaluated directly:
+
+* :func:`repeat_last` — conceal a loss with the previous packet's audio
+  (the "if FEC is deemed too expensive" fallback);
+* :func:`xor_fec` — one XOR parity packet per group of k data packets,
+  recovering any single loss per group (the [23]-style scheme);
+* :func:`interleaved_xor_fec` — the same parity, but over interleaved
+  groups, trading latency for burst resistance (the natural extension once
+  losses are *not* isolated).
+
+All evaluators consume a loss indicator sequence (``trace.lost``) and
+return the residual loss fraction after repair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.netdyn.trace import ProbeTrace
+
+
+def _as_loss_array(lost) -> np.ndarray:
+    arr = np.asarray(lost, dtype=bool)
+    if arr.ndim != 1 or arr.size == 0:
+        raise ConfigurationError("need a 1-D, non-empty loss sequence")
+    return arr
+
+
+def repeat_last(lost) -> float:
+    """Residual loss when a lost packet is replaced by its predecessor.
+
+    A packet is unrecoverable when it *and* its predecessor were lost
+    (and the very first packet, if lost, has no predecessor).
+    """
+    arr = _as_loss_array(lost)
+    unrecoverable = int((arr[1:] & arr[:-1]).sum())
+    if arr[0]:
+        unrecoverable += 1
+    return unrecoverable / arr.size
+
+
+def xor_fec(lost, group: int, parity_lost=None) -> float:
+    """Residual loss with one XOR parity per ``group`` data packets.
+
+    A group survives any single data loss provided its parity packet
+    arrived.  ``parity_lost`` gives the parity packets' own loss
+    indicators (one per group); by default parities are assumed to share
+    the data packets' fate distribution by reusing the group's first
+    indicator shifted by one group (an unbiased stand-in when evaluating
+    a trace that did not actually carry parities).
+    """
+    if group < 2:
+        raise ConfigurationError(f"group must be >= 2, got {group}")
+    arr = _as_loss_array(lost)
+    groups = arr.size // group
+    if groups == 0:
+        raise ConfigurationError(
+            f"sequence of {arr.size} shorter than one group of {group}")
+    data = arr[:groups * group].reshape(groups, group)
+    if parity_lost is None:
+        shifted = np.roll(arr, -group)
+        parity = shifted[:groups * group:group]
+    else:
+        parity = np.asarray(parity_lost, dtype=bool)
+        if parity.size < groups:
+            raise ConfigurationError(
+                f"need {groups} parity indicators, got {parity.size}")
+        parity = parity[:groups]
+    losses_per_group = data.sum(axis=1)
+    repaired = (losses_per_group == 1) & ~parity
+    residual = np.where(repaired, 0, losses_per_group).sum()
+    return float(residual) / (groups * group)
+
+
+def interleaved_xor_fec(lost, group: int, depth: int) -> float:
+    """XOR FEC over ``depth``-way interleaved groups.
+
+    Packet ``i`` belongs to interleave lane ``i % depth``; each lane runs
+    :func:`xor_fec` independently.  A burst of up to ``depth`` consecutive
+    losses lands one loss in each lane, so it remains repairable — at the
+    cost of ``group * depth`` packets of buffering latency.
+    """
+    if depth < 1:
+        raise ConfigurationError(f"depth must be >= 1, got {depth}")
+    arr = _as_loss_array(lost)
+    residual_losses = 0.0
+    counted = 0
+    for lane in range(depth):
+        lane_losses = arr[lane::depth]
+        groups = lane_losses.size // group
+        if groups == 0:
+            continue
+        usable = groups * group
+        residual_losses += xor_fec(lane_losses[:usable], group) * usable
+        counted += usable
+    if counted == 0:
+        raise ConfigurationError("sequence too short for this interleaving")
+    return residual_losses / counted
+
+
+@dataclass
+class RepairReport:
+    """Residual loss of each scheme on one trace."""
+
+    raw_loss: float
+    repeat_last: float
+    xor_fec: float
+    interleaved: float
+    group: int
+    depth: int
+
+    def best_scheme(self) -> str:
+        """Name of the scheme with the lowest residual loss."""
+        candidates = {
+            "repeat-last": self.repeat_last,
+            f"xor-fec({self.group})": self.xor_fec,
+            f"interleaved({self.group}x{self.depth})": self.interleaved,
+        }
+        return min(candidates, key=candidates.get)
+
+
+def evaluate_repair(trace: ProbeTrace, group: int = 4,
+                    depth: int = 4) -> RepairReport:
+    """Run every repair scheme against a trace's loss pattern."""
+    lost = trace.lost
+    return RepairReport(
+        raw_loss=trace.loss_fraction,
+        repeat_last=repeat_last(lost),
+        xor_fec=xor_fec(lost, group=group),
+        interleaved=interleaved_xor_fec(lost, group=group, depth=depth),
+        group=group, depth=depth)

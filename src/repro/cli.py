@@ -1,0 +1,140 @@
+"""Command-line entry points.
+
+Installed as console scripts (see pyproject) and usable via ``python -m``:
+
+* ``repro-experiment`` — run one probe experiment and print its analysis.
+* ``repro-figures`` — regenerate any/all paper figures and tables.
+* ``repro-traceroute`` — traceroute over a calibrated simulated topology.
+* ``repro-echo`` — run a live UDP echo server (real sockets).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import sys
+from typing import Optional, Sequence
+
+from repro.analysis.loss import loss_stats
+from repro.analysis.phase import estimate_bottleneck_mu
+from repro.analysis.timeseries import summarize
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.figures import ALL_FIGURES
+from repro.experiments.report import as_text, run_all
+from repro.experiments.runner import build_scenario, run_experiment
+from repro.tools.traceroute import format_route_table, traceroute
+from repro.units import seconds_to_ms
+
+
+def main_experiment(argv: Optional[Sequence[str]] = None) -> int:
+    """Run one probe experiment and print delay/loss analysis."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiment",
+        description="Probe a simulated paper topology with NetDyn.")
+    parser.add_argument("--delta-ms", type=float, default=50.0,
+                        help="probe interval in milliseconds (default 50)")
+    parser.add_argument("--duration", type=float, default=120.0,
+                        help="probe-train length in seconds (default 120)")
+    parser.add_argument("--scenario", choices=("inria-umd", "umd-pitt"),
+                        default="inria-umd")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--save-trace", metavar="PATH",
+                        help="write the trace as CSV")
+    args = parser.parse_args(argv)
+
+    config = ExperimentConfig(delta=args.delta_ms * 1e-3,
+                              duration=args.duration, seed=args.seed,
+                              scenario=args.scenario)
+    trace = run_experiment(config)
+    stats = loss_stats(trace)
+    delay = summarize(trace)
+    print(f"probes sent: {len(trace)}  (delta = {args.delta_ms:g} ms)")
+    print(f"delay ms: min {seconds_to_ms(delay.minimum):.1f}  "
+          f"mean {seconds_to_ms(delay.mean):.1f}  "
+          f"p99 {seconds_to_ms(delay.p99):.1f}  "
+          f"max {seconds_to_ms(delay.maximum):.1f}")
+    print(f"loss: ulp {stats.ulp:.3f}  clp {stats.clp:.3f}  "
+          f"plg {stats.plg:.2f}")
+    mu = estimate_bottleneck_mu(trace, mu_hint=float(
+        trace.meta.get("mu_bps", 128e3)))
+    if mu:
+        print(f"bottleneck estimate: {mu / 1e3:.0f} kb/s")
+    if args.save_trace:
+        trace.save_csv(args.save_trace)
+        print(f"trace written to {args.save_trace}")
+    return 0
+
+
+def main_figures(argv: Optional[Sequence[str]] = None) -> int:
+    """Regenerate paper figures/tables and print the comparison report."""
+    parser = argparse.ArgumentParser(
+        prog="repro-figures",
+        description="Reproduce the paper's tables and figures.")
+    parser.add_argument("names", nargs="*",
+                        help=f"subset to run (default all): "
+                             f"{', '.join(ALL_FIGURES)}")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--render", action="store_true",
+                        help="print ASCII figures, not just comparisons")
+    parser.add_argument("--export-dir", metavar="DIR",
+                        help="write each figure's data as CSV into DIR")
+    args = parser.parse_args(argv)
+
+    unknown = [n for n in args.names if n not in ALL_FIGURES]
+    if unknown:
+        parser.error(f"unknown figure names: {unknown}")
+    results = run_all(only=args.names or None, seed=args.seed)
+    print(as_text(results, renderings=args.render))
+    if args.export_dir:
+        from repro.experiments.report import export_results
+        written = export_results(results, args.export_dir)
+        print(f"\n{len(written)} data files written to {args.export_dir}")
+    return 0 if all(r.all_ok for r in results) else 1
+
+
+def main_traceroute(argv: Optional[Sequence[str]] = None) -> int:
+    """traceroute across a calibrated simulated topology."""
+    parser = argparse.ArgumentParser(
+        prog="repro-traceroute",
+        description="Run traceroute over a simulated paper topology.")
+    parser.add_argument("--scenario", choices=("inria-umd", "umd-pitt"),
+                        default="inria-umd")
+    parser.add_argument("--seed", type=int, default=1)
+    args = parser.parse_args(argv)
+
+    config = ExperimentConfig(delta=0.05, seed=args.seed,
+                              scenario=args.scenario)
+    scenario = build_scenario(config)
+    hops = traceroute(scenario.network, scenario.source, scenario.echo)
+    print(format_route_table(
+        hops, title=f"traceroute {scenario.source} -> {scenario.echo}"))
+    return 0
+
+
+def main_echo(argv: Optional[Sequence[str]] = None) -> int:
+    """Run a live NetDyn echo server on real UDP sockets."""
+    parser = argparse.ArgumentParser(
+        prog="repro-echo",
+        description="Run a NetDyn-compatible UDP echo server.")
+    parser.add_argument("--host", default="0.0.0.0")
+    parser.add_argument("--port", type=int, default=5201)
+    args = parser.parse_args(argv)
+
+    async def serve() -> None:
+        from repro.netdyn.live import serve_echo
+        transport, _protocol = await serve_echo(args.host, args.port)
+        print(f"echo server on {args.host}:{args.port} (ctrl-C to stop)")
+        try:
+            await asyncio.Event().wait()
+        finally:
+            transport.close()
+
+    try:
+        asyncio.run(serve())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - manual dispatch
+    sys.exit(main_figures())

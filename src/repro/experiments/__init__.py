@@ -1,0 +1,73 @@
+"""Calibrated experiments: one function per table/figure of the paper."""
+
+from repro.experiments.campaign import (
+    CampaignResult,
+    CampaignSpec,
+    load_campaign_traces,
+    run_campaign,
+)
+from repro.experiments.calibration import validate_calibration
+from repro.experiments.config import (
+    DEFAULT_WARMUP,
+    ExperimentConfig,
+    PAPER_DELTAS,
+    PAPER_DURATION,
+    default_duration,
+    full_experiments,
+)
+from repro.experiments.figures import (
+    ALL_FIGURES,
+    ComparisonRow,
+    FigureResult,
+    PAPER_TABLE3,
+    figure1,
+    figure2,
+    figure4,
+    figure5,
+    figure6,
+    figure8,
+    figure9,
+    table1,
+    table2,
+    table3,
+)
+from repro.experiments.report import as_markdown, as_text, run_all
+from repro.experiments.runner import (
+    build_scenario,
+    run_experiment,
+    run_experiment_with_scenario,
+)
+
+__all__ = [
+    "CampaignSpec",
+    "CampaignResult",
+    "run_campaign",
+    "load_campaign_traces",
+    "validate_calibration",
+    "ExperimentConfig",
+    "PAPER_DELTAS",
+    "PAPER_DURATION",
+    "DEFAULT_WARMUP",
+    "default_duration",
+    "full_experiments",
+    "ALL_FIGURES",
+    "ComparisonRow",
+    "FigureResult",
+    "PAPER_TABLE3",
+    "figure1",
+    "figure2",
+    "figure4",
+    "figure5",
+    "figure6",
+    "figure8",
+    "figure9",
+    "table1",
+    "table2",
+    "table3",
+    "as_markdown",
+    "as_text",
+    "run_all",
+    "build_scenario",
+    "run_experiment",
+    "run_experiment_with_scenario",
+]

@@ -1,0 +1,137 @@
+"""Measurement campaigns: grids of probe experiments with saved traces.
+
+The paper's Table 3 is a campaign — one experiment per δ.  This module
+generalizes that: run a grid of (δ × seed), persist every trace as CSV,
+and aggregate the loss/delay metrics with cross-seed confidence intervals
+(:mod:`repro.analysis.stats`).  The ``repro-experiment`` CLI covers single
+runs; campaigns are the API for systematic studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, Sequence, Union
+
+from repro.analysis.loss import loss_stats
+from repro.analysis.stats import ReplicationSummary, replicate
+from repro.analysis.timeseries import summarize
+from repro.errors import ConfigurationError
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_experiment
+from repro.netdyn.trace import ProbeTrace
+
+
+@dataclass
+class CampaignSpec:
+    """Definition of a measurement campaign.
+
+    Attributes
+    ----------
+    deltas:
+        Probe intervals to sweep, seconds.
+    seeds:
+        Seeds to replicate each cell with.
+    duration:
+        Probe-train length per experiment, seconds.
+    scenario:
+        Topology name (see :class:`~repro.experiments.config.ExperimentConfig`).
+    scenario_kwargs:
+        Extra topology parameters, applied to every cell.
+    output_dir:
+        When given, every trace is saved as
+        ``<output_dir>/trace_d<delta_ms>_s<seed>.csv``.
+    """
+
+    deltas: Sequence[float]
+    seeds: Sequence[int]
+    duration: float = 120.0
+    scenario: str = "inria-umd"
+    scenario_kwargs: dict = field(default_factory=dict)
+    output_dir: Optional[Union[str, Path]] = None
+
+    def __post_init__(self) -> None:
+        if not self.deltas:
+            raise ConfigurationError("campaign needs at least one delta")
+        if not self.seeds:
+            raise ConfigurationError("campaign needs at least one seed")
+        if self.duration <= 0:
+            raise ConfigurationError(
+                f"duration must be positive, got {self.duration}")
+
+
+@dataclass
+class CampaignResult:
+    """All traces and per-δ cross-seed summaries of one campaign."""
+
+    spec: CampaignSpec
+    #: (delta, seed) -> trace.
+    traces: dict[tuple[float, int], ProbeTrace]
+    #: delta -> cross-seed metric summary.
+    summaries: dict[float, ReplicationSummary]
+
+    def table(self) -> str:
+        """Per-δ metric table with cross-seed means."""
+        lines = [f"{'delta':>8} {'ulp':>14} {'clp':>14} "
+                 f"{'mean rtt ms':>16} {'runs':>5}"]
+        for delta in self.spec.deltas:
+            summary = self.summaries[delta]
+            ulp = summary.interval("ulp") if len(self.spec.seeds) > 1 \
+                else None
+            mean_of = {k: sum(v) / len(v) for k, v in summary.values.items()}
+            ulp_text = (f"{mean_of['ulp']:.3f}±{ulp.width / 2:.3f}"
+                        if ulp else f"{mean_of['ulp']:.3f}")
+            lines.append(
+                f"{delta * 1e3:6.0f}ms {ulp_text:>14} "
+                f"{mean_of['clp']:14.3f} "
+                f"{mean_of['mean_rtt'] * 1e3:16.1f} "
+                f"{len(self.spec.seeds):5d}")
+        return "\n".join(lines)
+
+
+def _cell_metrics(trace: ProbeTrace) -> dict[str, float]:
+    losses = loss_stats(trace)
+    delay = summarize(trace)
+    return {
+        "ulp": losses.ulp,
+        "clp": losses.clp,
+        "plg": min(losses.plg, 1e6),  # keep aggregation finite
+        "mean_rtt": delay.mean,
+        "p99_rtt": delay.p99,
+        "min_rtt": delay.minimum,
+    }
+
+
+def run_campaign(spec: CampaignSpec) -> CampaignResult:
+    """Execute every (delta, seed) cell of the campaign."""
+    output_dir = Path(spec.output_dir) if spec.output_dir else None
+    if output_dir:
+        output_dir.mkdir(parents=True, exist_ok=True)
+
+    traces: dict[tuple[float, int], ProbeTrace] = {}
+    summaries: dict[float, ReplicationSummary] = {}
+    for delta in spec.deltas:
+
+        def one_seed(seed: int, _delta=delta) -> dict[str, float]:
+            config = ExperimentConfig(delta=_delta, duration=spec.duration,
+                                      seed=seed, scenario=spec.scenario,
+                                      scenario_kwargs=dict(
+                                          spec.scenario_kwargs))
+            trace = run_experiment(config)
+            traces[(_delta, seed)] = trace
+            if output_dir:
+                name = f"trace_d{_delta * 1e3:g}_s{seed}.csv"
+                trace.save_csv(output_dir / name)
+            return _cell_metrics(trace)
+
+        summaries[delta] = replicate(one_seed, spec.seeds)
+    return CampaignResult(spec=spec, traces=traces, summaries=summaries)
+
+
+def load_campaign_traces(directory: Union[str, Path]) -> list[ProbeTrace]:
+    """Load every ``trace_*.csv`` previously saved by a campaign."""
+    directory = Path(directory)
+    traces = []
+    for path in sorted(directory.glob("trace_*.csv")):
+        traces.append(ProbeTrace.load_csv(path))
+    return traces

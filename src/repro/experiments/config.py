@@ -1,0 +1,77 @@
+"""Experiment configuration shared by the figure/table reproductions.
+
+The paper's experiments are 10-minute probe trains; full-length runs are
+supported but the default durations are scaled down so the whole benchmark
+suite completes in minutes.  Set the environment variable
+``REPRO_FULL_EXPERIMENTS=1`` to run paper-length experiments everywhere.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+#: The probe intervals of the paper's experiments, seconds.
+PAPER_DELTAS = (0.008, 0.020, 0.050, 0.100, 0.200, 0.500)
+
+#: Length of each experiment in the paper, seconds.
+PAPER_DURATION = 600.0
+
+#: Warm-up before probing starts, letting cross traffic reach steady state.
+DEFAULT_WARMUP = 30.0
+
+
+def full_experiments() -> bool:
+    """True when paper-length runs were requested via the environment."""
+    return os.environ.get("REPRO_FULL_EXPERIMENTS", "") not in ("", "0")
+
+
+def default_duration(requested: float = 120.0) -> float:
+    """The experiment duration to use: paper length if requested via env."""
+    return PAPER_DURATION if full_experiments() else requested
+
+
+@dataclass
+class ExperimentConfig:
+    """Parameters of one probe experiment on a calibrated scenario.
+
+    Attributes
+    ----------
+    delta:
+        Probe interval, seconds.
+    duration:
+        Probe-train length, seconds (count = duration / delta).
+    seed:
+        Master random seed.
+    warmup:
+        Cross-traffic warm-up before the first probe, seconds.
+    scenario:
+        ``"inria-umd"`` or ``"umd-pitt"``.
+    scenario_kwargs:
+        Extra arguments forwarded to the topology builder.
+    """
+
+    delta: float
+    duration: float = 120.0
+    seed: int = 1
+    warmup: float = DEFAULT_WARMUP
+    scenario: str = "inria-umd"
+    scenario_kwargs: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.delta <= 0:
+            raise ConfigurationError(f"delta must be positive: {self.delta}")
+        if self.duration <= 0:
+            raise ConfigurationError(
+                f"duration must be positive: {self.duration}")
+        if self.warmup < 0:
+            raise ConfigurationError(f"warmup must be >= 0: {self.warmup}")
+        if self.scenario not in ("inria-umd", "umd-pitt"):
+            raise ConfigurationError(f"unknown scenario {self.scenario!r}")
+
+    @property
+    def count(self) -> int:
+        """Number of probes implied by duration and delta."""
+        return max(1, int(round(self.duration / self.delta)))

@@ -1,0 +1,84 @@
+"""Paper-vs-measured report generation (feeds EXPERIMENTS.md)."""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Optional, Union
+
+from repro.experiments.figures import ALL_FIGURES, FigureResult
+
+
+def run_all(only: Optional[Iterable[str]] = None,
+            seed: int = 1) -> list[FigureResult]:
+    """Run every figure/table reproduction (or the named subset)."""
+    names = list(ALL_FIGURES) if only is None else list(only)
+    results = []
+    for name in names:
+        function = ALL_FIGURES[name]
+        results.append(function(seed=seed))
+    return results
+
+
+def as_text(results: list[FigureResult], renderings: bool = False) -> str:
+    """Plain-text report of all comparison rows."""
+    blocks = []
+    for result in results:
+        blocks.append(result.summary())
+        if renderings and result.rendering:
+            blocks.append(result.rendering)
+    passed = sum(1 for r in results for row in r.rows if row.ok)
+    total = sum(len(r.rows) for r in results)
+    blocks.append(f"\n{passed}/{total} comparison rows passed")
+    return "\n\n".join(blocks)
+
+
+def export_results(results: list[FigureResult],
+                   directory: Union[str, Path]) -> list[Path]:
+    """Write each figure's underlying data as CSV for offline plotting.
+
+    For every result that carries a trace: the raw ``n, send_time, rtt``
+    series, the phase-plane points, and (when enough probes were received)
+    the workload histogram of Figures 8/9.  Returns the written paths.
+    """
+    from repro.analysis.phase import phase_points
+    from repro.analysis.workload import workload_distribution
+    from repro.errors import AnalysisError
+    from repro.plotting.export import export_columns, export_histogram
+
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written: list[Path] = []
+    for result in results:
+        if result.trace is None:
+            continue
+        stem = result.figure_id.lower().replace(" ", "")
+        trace_path = directory / f"{stem}_trace.csv"
+        result.trace.save_csv(trace_path)
+        written.append(trace_path)
+        try:
+            plot = phase_points(result.trace)
+            phase_path = directory / f"{stem}_phase.csv"
+            export_columns(phase_path, ["rtt_n", "rtt_n_plus_1"],
+                           plot.x, plot.y)
+            written.append(phase_path)
+            mu = float(result.trace.meta.get("mu_bps", 0) or 0)
+            if mu > 0:
+                dist = workload_distribution(result.trace, mu=mu)
+                hist_path = directory / f"{stem}_workload_hist.csv"
+                export_histogram(hist_path, dist.counts, dist.edges)
+                written.append(hist_path)
+        except AnalysisError:
+            pass  # too few received probes for the derived exports
+    return written
+
+
+def as_markdown(results: list[FigureResult]) -> str:
+    """Markdown report suitable for EXPERIMENTS.md."""
+    lines = ["| Experiment | Quantity | Paper | Measured | Match |",
+             "|---|---|---|---|---|"]
+    for result in results:
+        for row in result.rows:
+            status = "yes" if row.ok else "no"
+            lines.append(f"| {result.figure_id} | {row.name} | {row.paper} "
+                         f"| {row.measured} | {status} |")
+    return "\n".join(lines)

@@ -1,0 +1,55 @@
+"""Run a configured probe experiment and return its trace."""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.experiments.config import ExperimentConfig
+from repro.netdyn.session import run_probe_experiment
+from repro.netdyn.trace import ProbeTrace
+from repro.topology.inria_umd import InriaUmdScenario, build_inria_umd
+from repro.topology.umd_pitt import UmdPittScenario, build_umd_pitt
+
+Scenario = Union[InriaUmdScenario, UmdPittScenario]
+
+
+def build_scenario(config: ExperimentConfig) -> Scenario:
+    """Instantiate the topology named by the configuration."""
+    if config.scenario == "inria-umd":
+        return build_inria_umd(seed=config.seed, **config.scenario_kwargs)
+    return build_umd_pitt(seed=config.seed, **config.scenario_kwargs)
+
+
+def run_experiment(config: ExperimentConfig) -> ProbeTrace:
+    """Build the scenario, warm up the traffic, probe, return the trace."""
+    scenario = build_scenario(config)
+    scenario.start_traffic(at=0.0)
+    trace = run_probe_experiment(
+        scenario.network, scenario.source, scenario.echo,
+        delta=config.delta, count=config.count, start_at=config.warmup,
+        meta={
+            "scenario": config.scenario,
+            "seed": config.seed,
+            "mu_bps": scenario.bottleneck_rate_bps,
+        })
+    return trace
+
+
+def run_experiment_with_scenario(config: ExperimentConfig,
+                                 ) -> tuple[ProbeTrace, Scenario]:
+    """Like :func:`run_experiment` but also return the live scenario.
+
+    Useful when the caller needs queue statistics or fault counters after
+    the measurement (the ablation benchmarks do).
+    """
+    scenario = build_scenario(config)
+    scenario.start_traffic(at=0.0)
+    trace = run_probe_experiment(
+        scenario.network, scenario.source, scenario.echo,
+        delta=config.delta, count=config.count, start_at=config.warmup,
+        meta={
+            "scenario": config.scenario,
+            "seed": config.seed,
+            "mu_bps": scenario.bottleneck_rate_bps,
+        })
+    return trace, scenario

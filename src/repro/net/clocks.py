@@ -1,0 +1,98 @@
+"""Host clock models.
+
+The paper's timestamps come from real host clocks: the INRIA source host was
+a DECstation 5000 with a **3.906 ms** clock resolution, and the UMd host used
+for the UMd-Pittsburgh experiments had a **3 ms** resolution (the cause of
+the regular banding visible in Figures 5 and 6).  :class:`QuantizedClock`
+reproduces that artifact; :class:`SkewedClock` additionally models offset and
+drift, which is why NetDyn (and this reproduction) only ever interprets
+*differences* of timestamps taken on the *same* host.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.sim.kernel import Simulator
+
+#: DECstation 5000 clock resolution (seconds), per the paper.
+DECSTATION_RESOLUTION = 3.906e-3
+
+#: Resolution of the UMd source host in the May 1993 experiments (seconds).
+UMD_RESOLUTION = 3e-3
+
+
+class Clock:
+    """Interface of a host clock: maps simulation time to host time."""
+
+    def now(self) -> float:
+        """Current host-local time in seconds."""
+        raise NotImplementedError
+
+    @property
+    def resolution(self) -> float:
+        """Smallest representable tick (0.0 for a perfect clock)."""
+        return 0.0
+
+
+class PerfectClock(Clock):
+    """A clock that reads true simulation time with infinite resolution."""
+
+    def __init__(self, sim: Simulator) -> None:
+        self._sim = sim
+
+    def now(self) -> float:
+        return self._sim.now
+
+
+class QuantizedClock(Clock):
+    """A clock whose readings are floored to a fixed tick.
+
+    >>> from repro.sim import Simulator
+    >>> sim = Simulator()
+    >>> clock = QuantizedClock(sim, resolution=DECSTATION_RESOLUTION)
+    """
+
+    def __init__(self, sim: Simulator, resolution: float) -> None:
+        if resolution <= 0:
+            raise ConfigurationError(
+                f"clock resolution must be positive, got {resolution}")
+        self._sim = sim
+        self._resolution = resolution
+
+    def now(self) -> float:
+        ticks = int(self._sim.now / self._resolution)
+        return ticks * self._resolution
+
+    @property
+    def resolution(self) -> float:
+        return self._resolution
+
+
+class SkewedClock(Clock):
+    """A clock with constant offset and frequency skew (optionally quantized).
+
+    ``host_time = offset + (1 + skew) * sim_time``, floored to ``resolution``
+    when one is given.  Used by tests to demonstrate that round-trip
+    measurements are immune to offset but one-way timestamps are not — the
+    reason Bolot sources and sinks probes on the same host.
+    """
+
+    def __init__(self, sim: Simulator, offset: float = 0.0, skew: float = 0.0,
+                 resolution: float = 0.0) -> None:
+        if resolution < 0:
+            raise ConfigurationError(
+                f"clock resolution must be >= 0, got {resolution}")
+        self._sim = sim
+        self._offset = offset
+        self._skew = skew
+        self._resolution = resolution
+
+    def now(self) -> float:
+        reading = self._offset + (1.0 + self._skew) * self._sim.now
+        if self._resolution > 0:
+            reading = int(reading / self._resolution) * self._resolution
+        return reading
+
+    @property
+    def resolution(self) -> float:
+        return self._resolution

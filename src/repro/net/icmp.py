@@ -1,0 +1,90 @@
+"""ICMP message construction.
+
+Only the message types the paper's tooling needs are modeled: echo /
+echo-reply (ping, and the grouped prober of Mukherjee [19]), time-exceeded
+(traceroute), and port-unreachable (traceroute's terminal reply).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.net.packet import (
+    KIND_ICMP_ECHO,
+    KIND_ICMP_ECHO_REPLY,
+    KIND_ICMP_PORT_UNREACHABLE,
+    KIND_ICMP_TIME_EXCEEDED,
+    Packet,
+)
+
+#: Wire size of an ICMP echo request/reply (classic ping default payload).
+ECHO_SIZE_BYTES = 64
+
+#: Wire size of an ICMP error message (IP header + 8 bytes of the original).
+ERROR_SIZE_BYTES = 56
+
+
+@dataclass(frozen=True)
+class EchoContext:
+    """Identifier/sequence pair carried by echo requests and replies."""
+
+    ident: int
+    seq: int
+
+
+@dataclass(frozen=True)
+class ErrorContext:
+    """What an ICMP error reports about the packet that triggered it."""
+
+    reporter: str
+    original_uid: int
+    original_src: str
+    original_dst: str
+    original_src_port: Optional[int]
+    original_dst_port: Optional[int]
+
+
+def make_echo(src: str, dst: str, ident: int, seq: int, created_at: float,
+              size_bytes: int = ECHO_SIZE_BYTES, ttl: int = 64,
+              record_route: bool = False) -> Packet:
+    """Build an ICMP echo request.
+
+    With ``record_route`` the packet carries the IP record-route option:
+    every visited node appends its name, and the echo reply continues the
+    same list — how the paper obtained the Table 1 route with ping.
+    """
+    return Packet(src=src, dst=dst, kind=KIND_ICMP_ECHO,
+                  size_bytes=size_bytes, ttl=ttl,
+                  payload=EchoContext(ident=ident, seq=seq),
+                  created_at=created_at,
+                  record=[] if record_route else None)
+
+
+def make_echo_reply(echo: Packet, created_at: float) -> Packet:
+    """Build the reply to ``echo`` (src/dst swapped, payload preserved).
+
+    A record-route list is carried over so the reply keeps appending, as
+    the real IP option does across the round trip.
+    """
+    return Packet(src=echo.dst, dst=echo.src, kind=KIND_ICMP_ECHO_REPLY,
+                  size_bytes=echo.size_bytes, payload=echo.payload,
+                  created_at=created_at, record=echo.record)
+
+
+def make_error(kind: str, reporter: str, offending: Packet,
+               created_at: float) -> Packet:
+    """Build a time-exceeded or port-unreachable error about ``offending``."""
+    if kind not in (KIND_ICMP_TIME_EXCEEDED, KIND_ICMP_PORT_UNREACHABLE):
+        raise ValueError(f"not an ICMP error kind: {kind!r}")
+    context = ErrorContext(
+        reporter=reporter,
+        original_uid=offending.uid,
+        original_src=offending.src,
+        original_dst=offending.dst,
+        original_src_port=offending.src_port,
+        original_dst_port=offending.dst_port,
+    )
+    return Packet(src=reporter, dst=offending.src, kind=kind,
+                  size_bytes=ERROR_SIZE_BYTES, payload=context,
+                  created_at=created_at)

@@ -1,0 +1,146 @@
+"""Network interfaces and links.
+
+An :class:`Interface` is the transmitting side of a unidirectional link: it
+owns the output :class:`~repro.net.queue.DropTailQueue`, serializes packets
+at the link rate, applies fault models, and delivers packets to the peer
+node after the propagation delay.  A bidirectional link between two nodes is
+simply a pair of interfaces, one on each node (see
+:meth:`repro.net.routing.Network.link`).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.errors import ConfigurationError
+from repro.net.faults import FaultModel
+from repro.net.packet import Packet
+from repro.net.queue import DropTailQueue
+from repro.sim.kernel import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.net.node import Node
+
+
+class Interface:
+    """The output port of a node onto one unidirectional link.
+
+    Parameters
+    ----------
+    sim:
+        Owning simulator.
+    node:
+        The node this interface belongs to (the transmitter).
+    rate_bps:
+        Link bandwidth in bits per second.
+    prop_delay:
+        One-way propagation delay in seconds.
+    queue:
+        Output buffer; packets wait here while the transmitter is busy.
+    name:
+        Diagnostic label (defaults to ``node->peer`` when attached).
+    """
+
+    def __init__(self, sim: Simulator, node: "Node", rate_bps: float,
+                 prop_delay: float, queue: DropTailQueue,
+                 name: str = "") -> None:
+        if rate_bps <= 0:
+            raise ConfigurationError(
+                f"link rate must be positive, got {rate_bps}")
+        if prop_delay < 0:
+            raise ConfigurationError(
+                f"propagation delay must be >= 0, got {prop_delay}")
+        self._sim = sim
+        self.node = node
+        self.rate_bps = rate_bps
+        self.prop_delay = prop_delay
+        self.queue = queue
+        self.name = name
+        self.peer: Optional["Node"] = None
+        self.egress_faults: list[FaultModel] = []
+        self.ingress_faults: list[FaultModel] = []
+        self._busy = False
+        self.transmitted = 0
+        self.transmitted_bits = 0
+        self.fault_drops = 0
+
+    # ------------------------------------------------------------------
+    def attach_peer(self, peer: "Node") -> None:
+        """Set the receiving node of this link."""
+        self.peer = peer
+        if not self.name:
+            self.name = f"{self.node.name}->{peer.name}"
+
+    def add_egress_fault(self, fault: FaultModel) -> None:
+        """Drop/stall packets as they are transmitted."""
+        self.egress_faults.append(fault)
+
+    def add_ingress_fault(self, fault: FaultModel) -> None:
+        """Drop packets as they are received by the peer."""
+        self.ingress_faults.append(fault)
+
+    # ------------------------------------------------------------------
+    def send(self, packet: Packet) -> bool:
+        """Queue ``packet`` for transmission; False if it was dropped."""
+        if self.peer is None:
+            raise ConfigurationError(
+                f"interface {self.name!r} has no peer attached")
+        for fault in self.egress_faults:
+            if fault.drops(packet, self._sim):
+                self.fault_drops += 1
+                return False
+        if self._busy:
+            return self.queue.enqueue(packet)
+        # Transmitter idle: the packet still passes through the queue's
+        # accounting so arrival/occupancy statistics cover every packet.
+        if not self.queue.enqueue(packet):
+            return False
+        self._start_next()
+        return True
+
+    def _start_next(self) -> None:
+        """Begin transmitting the head-of-line packet (transmitter idle)."""
+        packet = self.queue.dequeue()
+        if packet is None:
+            return
+        self._busy = True
+        start = self._sim.now
+        for fault in self.egress_faults:
+            start = max(start, fault.stalled_until(self._sim.now))
+        tx_delay = packet.size_bits / self.rate_bps
+        finish = start + tx_delay
+        self._sim.call_at(finish, lambda: self._transmission_done(packet),
+                          label=f"tx-done {self.name}")
+
+    def _transmission_done(self, packet: Packet) -> None:
+        self.transmitted += 1
+        self.transmitted_bits += packet.size_bits
+        arrival = self._sim.now + self.prop_delay
+        self._sim.call_at(arrival, lambda: self._deliver(packet),
+                          label=f"deliver {self.name}")
+        self._busy = False
+        self._start_next()
+
+    def _deliver(self, packet: Packet) -> None:
+        assert self.peer is not None
+        for fault in self.ingress_faults:
+            if fault.drops(packet, self._sim):
+                self.fault_drops += 1
+                return
+        self.peer.handle_packet(packet, ingress=self)
+
+    # ------------------------------------------------------------------
+    @property
+    def busy(self) -> bool:
+        """True while a packet is being serialized."""
+        return self._busy
+
+    def utilization_estimate(self, elapsed: float) -> float:
+        """Utilization over ``elapsed`` seconds: transmitted bits / capacity."""
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, self.transmitted_bits / (self.rate_bps * elapsed))
+
+    def __repr__(self) -> str:
+        return (f"<Interface {self.name} {self.rate_bps:.0f}bps "
+                f"prop={self.prop_delay * 1e3:.1f}ms busy={self._busy}>")

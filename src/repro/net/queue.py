@@ -1,0 +1,111 @@
+"""Finite drop-tail FIFO queues.
+
+This is the buffer of Figure 3 in the paper: probe losses happen here when
+the buffer overflows.  Capacity can be expressed in packets (the paper's
+``K``) or in bytes; both modes are exercised by the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+from repro.errors import ConfigurationError
+from repro.net.packet import Packet
+from repro.sim.kernel import Simulator
+from repro.sim.monitor import TimeWeightedValue
+
+#: Capacity accounting modes.
+MODE_PACKETS = "packets"
+MODE_BYTES = "bytes"
+
+
+class DropTailQueue:
+    """A finite FIFO queue with tail-drop and occupancy accounting.
+
+    Parameters
+    ----------
+    sim:
+        Owning simulator (used for time-weighted occupancy stats).
+    capacity:
+        Maximum occupancy.  Interpreted per ``mode``.
+    mode:
+        ``"packets"`` or ``"bytes"``.
+    name:
+        Diagnostic label.
+    """
+
+    def __init__(self, sim: Simulator, capacity: int,
+                 mode: str = MODE_PACKETS, name: str = "") -> None:
+        if capacity <= 0:
+            raise ConfigurationError(
+                f"queue capacity must be positive, got {capacity}")
+        if mode not in (MODE_PACKETS, MODE_BYTES):
+            raise ConfigurationError(f"unknown queue mode {mode!r}")
+        self._sim = sim
+        self.capacity = capacity
+        self.mode = mode
+        self.name = name
+        self._packets: deque[Packet] = deque()
+        self._bytes = 0
+        self.arrivals = 0
+        self.drops = 0
+        self.departures = 0
+        self.occupancy_packets = TimeWeightedValue(sim, 0.0)
+        self.occupancy_bytes = TimeWeightedValue(sim, 0.0)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._packets)
+
+    @property
+    def bytes_queued(self) -> int:
+        """Total wire bytes currently buffered."""
+        return self._bytes
+
+    def _occupancy_after(self, packet: Packet) -> int:
+        if self.mode == MODE_PACKETS:
+            return len(self._packets) + 1
+        return self._bytes + packet.size_bytes
+
+    def would_drop(self, packet: Packet) -> bool:
+        """True if enqueuing ``packet`` now would overflow the buffer."""
+        return self._occupancy_after(packet) > self.capacity
+
+    def enqueue(self, packet: Packet) -> bool:
+        """Append ``packet`` if it fits; return False (and count) on drop."""
+        self.arrivals += 1
+        if self.would_drop(packet):
+            self.drops += 1
+            return False
+        self._packets.append(packet)
+        self._bytes += packet.size_bytes
+        self._record_occupancy()
+        return True
+
+    def dequeue(self) -> Optional[Packet]:
+        """Pop the head-of-line packet, or None if empty."""
+        if not self._packets:
+            return None
+        packet = self._packets.popleft()
+        self._bytes -= packet.size_bytes
+        self.departures += 1
+        self._record_occupancy()
+        return packet
+
+    def _record_occupancy(self) -> None:
+        self.occupancy_packets.update(float(len(self._packets)))
+        self.occupancy_bytes.update(float(self._bytes))
+
+    # ------------------------------------------------------------------
+    @property
+    def loss_fraction(self) -> float:
+        """Fraction of arrivals dropped so far."""
+        if self.arrivals == 0:
+            return 0.0
+        return self.drops / self.arrivals
+
+    def __repr__(self) -> str:
+        return (f"<DropTailQueue {self.name!r} {len(self._packets)} pkts/"
+                f"{self._bytes}B of {self.capacity} {self.mode}, "
+                f"{self.drops} drops>")

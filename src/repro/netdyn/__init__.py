@@ -1,0 +1,55 @@
+"""NetDyn: the UDP probe measurement tool (Sanghi et al. [22]), rebuilt.
+
+Simulated agents (:mod:`~repro.netdyn.source`, :mod:`~repro.netdyn.echo`,
+:mod:`~repro.netdyn.session`) and a live asyncio implementation
+(:mod:`~repro.netdyn.live`) share one wire format
+(:mod:`~repro.netdyn.packetfmt`) and one trace container
+(:mod:`~repro.netdyn.trace`).
+"""
+
+from repro.netdyn.clocks import (
+    Clock,
+    DECSTATION_RESOLUTION,
+    PerfectClock,
+    QuantizedClock,
+    SkewedClock,
+    UMD_RESOLUTION,
+)
+from repro.netdyn.echo import ECHO_PORT, EchoAgent
+from repro.netdyn.packetfmt import (
+    PROBE_PAYLOAD_BYTES,
+    ProbeHeader,
+    decode_probe,
+    encode_probe,
+)
+from repro.netdyn.oneway import (
+    OneWaySinkAgent,
+    OneWaySourceAgent,
+    run_one_way_experiment,
+)
+from repro.netdyn.session import run_probe_experiment
+from repro.netdyn.source import SINK_PORT, SourceAgent
+from repro.netdyn.trace import LOST, ProbeTrace
+
+__all__ = [
+    "Clock",
+    "PerfectClock",
+    "QuantizedClock",
+    "SkewedClock",
+    "DECSTATION_RESOLUTION",
+    "UMD_RESOLUTION",
+    "EchoAgent",
+    "ECHO_PORT",
+    "SourceAgent",
+    "SINK_PORT",
+    "ProbeHeader",
+    "encode_probe",
+    "decode_probe",
+    "PROBE_PAYLOAD_BYTES",
+    "run_probe_experiment",
+    "run_one_way_experiment",
+    "OneWaySinkAgent",
+    "OneWaySourceAgent",
+    "ProbeTrace",
+    "LOST",
+]

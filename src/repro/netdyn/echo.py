@@ -1,0 +1,53 @@
+"""The NetDyn echo agent (the 'intermediate host' of the paper).
+
+Upon receipt of a probe from the source, the echo agent immediately stamps
+the echo timestamp with its local clock and forwards the probe to the
+configured destination host — which, in the paper's setup, is the source
+host itself, so only same-clock timestamp differences are ever interpreted.
+"""
+
+from __future__ import annotations
+
+from repro.net.host import Host
+from repro.net.packet import Packet
+from repro.netdyn import packetfmt
+
+#: Default UDP port the echo agent listens on.
+ECHO_PORT = 5201
+
+
+class EchoAgent:
+    """UDP service that echoes NetDyn probes toward a destination host.
+
+    Parameters
+    ----------
+    host:
+        The host the agent runs on.
+    destination:
+        Node name probes are forwarded to.
+    destination_port:
+        UDP port of the destination's probe sink.
+    port:
+        Local port to listen on.
+    """
+
+    def __init__(self, host: Host, destination: str, destination_port: int,
+                 port: int = ECHO_PORT) -> None:
+        self.host = host
+        self.destination = destination
+        self.destination_port = destination_port
+        self.port = port
+        self.echoed = 0
+        host.bind_udp(port, self._on_probe)
+
+    def _on_probe(self, packet: Packet) -> None:
+        payload = packetfmt.stamp_echo_time(packet.payload,
+                                            self.host.clock.now())
+        self.host.send_udp(self.destination, src_port=self.port,
+                           dst_port=self.destination_port, payload=payload,
+                           payload_bytes=len(payload))
+        self.echoed += 1
+
+    def close(self) -> None:
+        """Release the UDP port."""
+        self.host.unbind_udp(self.port)

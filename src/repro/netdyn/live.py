@@ -1,0 +1,128 @@
+"""Live-network NetDyn: a real UDP echo server and prober over asyncio.
+
+This is the same measurement tool as the simulated agents, but speaking the
+same wire format over real sockets, so the library can probe real paths (or
+loopback, as the tests do).  The echo server forwards probes back to the
+address they came from — i.e. the source host is the destination host,
+exactly the clock-safe configuration the paper uses.
+
+Example
+-------
+Run an echo server::
+
+    python -m repro.cli echo --port 5201
+
+Probe it::
+
+    from repro.netdyn.live import probe
+    trace = asyncio.run(probe("127.0.0.1", 5201, delta=0.02, count=500))
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError, PacketFormatError
+from repro.netdyn import packetfmt
+from repro.netdyn.trace import LOST, ProbeTrace
+
+
+class EchoServerProtocol(asyncio.DatagramProtocol):
+    """Stamps the echo timestamp and returns probes to their sender."""
+
+    def __init__(self) -> None:
+        self.transport: Optional[asyncio.DatagramTransport] = None
+        self.echoed = 0
+
+    def connection_made(self, transport: asyncio.BaseTransport) -> None:
+        self.transport = transport  # type: ignore[assignment]
+
+    def datagram_received(self, data: bytes, addr) -> None:
+        try:
+            stamped = packetfmt.stamp_echo_time(data, time.monotonic())
+        except PacketFormatError:
+            return  # not a probe; ignore
+        assert self.transport is not None
+        self.echoed += 1
+        self.transport.sendto(stamped, addr)
+
+
+async def serve_echo(host: str = "0.0.0.0", port: int = 5201,
+                     ) -> tuple[asyncio.DatagramTransport, EchoServerProtocol]:
+    """Start a probe echo server; caller closes the returned transport."""
+    loop = asyncio.get_running_loop()
+    transport, protocol = await loop.create_datagram_endpoint(
+        EchoServerProtocol, local_addr=(host, port))
+    return transport, protocol  # type: ignore[return-value]
+
+
+class _ProberProtocol(asyncio.DatagramProtocol):
+    """Receives returned probes and records their round-trip times."""
+
+    def __init__(self) -> None:
+        self.rtts: dict[int, float] = {}
+        self.transport: Optional[asyncio.DatagramTransport] = None
+
+    def connection_made(self, transport: asyncio.BaseTransport) -> None:
+        self.transport = transport  # type: ignore[assignment]
+
+    def datagram_received(self, data: bytes, addr) -> None:
+        arrival = time.monotonic()
+        try:
+            header = packetfmt.decode_probe(data)
+        except PacketFormatError:
+            return
+        if header.source_time is None or header.seq in self.rtts:
+            return
+        self.rtts[header.seq] = arrival - header.source_time
+
+
+async def probe(host: str, port: int, delta: float, count: int,
+                payload_bytes: int = packetfmt.PROBE_PAYLOAD_BYTES,
+                drain: float = 1.0,
+                meta: Optional[dict] = None) -> ProbeTrace:
+    """Send ``count`` probes every ``delta`` seconds to a live echo server.
+
+    Timestamps use ``time.monotonic()`` on the probing host only, so clock
+    offset between prober and echo server does not matter (the echo
+    timestamp is recorded in the packet but not used for RTTs, just as in
+    the paper).
+    """
+    if delta <= 0:
+        raise ConfigurationError(f"delta must be positive, got {delta}")
+    if count <= 0:
+        raise ConfigurationError(f"count must be positive, got {count}")
+    loop = asyncio.get_running_loop()
+    transport, protocol = await loop.create_datagram_endpoint(
+        _ProberProtocol, remote_addr=(host, port))
+    send_times = []
+    try:
+        start = time.monotonic()
+        for seq in range(count):
+            target = start + seq * delta
+            now = time.monotonic()
+            if target > now:
+                await asyncio.sleep(target - now)
+            send_time = time.monotonic()
+            payload = packetfmt.encode_probe(seq, source_time=send_time,
+                                             payload_bytes=payload_bytes)
+            transport.sendto(payload)
+            send_times.append(send_time)
+        await asyncio.sleep(drain)
+    finally:
+        transport.close()
+
+    rtts = np.full(count, LOST)
+    for seq, rtt in protocol.rtts.items():
+        if 0 <= seq < count:
+            rtts[seq] = rtt
+    trace_meta = {"target": f"{host}:{port}", "live": True}
+    trace_meta.update(meta or {})
+    return ProbeTrace(delta=delta,
+                      send_times=np.asarray(send_times) - send_times[0],
+                      rtts=rtts, payload_bytes=payload_bytes,
+                      wire_bytes=payload_bytes + 40, meta=trace_meta)

@@ -1,0 +1,152 @@
+"""One-way NetDyn measurements: when source and destination differ.
+
+NetDyn's general configuration sends probes from a source host via the
+echo host to a *different* destination host.  The paper deliberately
+collapses destination onto source because "their local clocks may not be
+synchronized and hence the timestamps ... would be difficult to interpret".
+
+This module implements the general configuration so that statement can be
+demonstrated quantitatively: one-way delay readings absorb the clock offset
+between the two hosts wholesale, while *differences* of consecutive one-way
+delays (the quantity equation (6) needs) cancel the offset and remain
+usable under any constant offset — but not under clock drift.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.net.host import Host
+from repro.net.packet import Packet, UDP_WIRE_OVERHEAD_BYTES
+from repro.net.routing import Network
+from repro.netdyn import packetfmt
+from repro.netdyn.echo import ECHO_PORT, EchoAgent
+from repro.netdyn.trace import LOST, ProbeTrace
+
+#: Port the destination (sink) agent listens on.
+ONEWAY_SINK_PORT = 5203
+
+
+class OneWaySinkAgent:
+    """Receives probes at the destination host and logs one-way delays.
+
+    The recorded delay for probe n is ``destination_clock(arrival) −
+    source_timestamp``, i.e. exactly what a naive reading of the NetDyn
+    timestamps gives — including whatever offset and drift separate the
+    two host clocks.
+    """
+
+    def __init__(self, host: Host, port: int = ONEWAY_SINK_PORT) -> None:
+        self.host = host
+        self.port = port
+        self.delays: dict[int, float] = {}
+        host.bind_udp(port, self._on_probe)
+
+    def _on_probe(self, packet: Packet) -> None:
+        header = packetfmt.decode_probe(packet.payload)
+        if header.source_time is None or header.seq in self.delays:
+            return
+        self.delays[header.seq] = (self.host.clock.now()
+                                   - header.source_time)
+
+    def close(self) -> None:
+        """Release the UDP port."""
+        self.host.unbind_udp(self.port)
+
+
+class OneWaySourceAgent:
+    """Sends the probe train (no return path needed)."""
+
+    def __init__(self, host: Host, echo_host: str, echo_port: int,
+                 delta: float, count: int,
+                 payload_bytes: int = packetfmt.PROBE_PAYLOAD_BYTES) -> None:
+        if delta <= 0 or count <= 0:
+            raise ConfigurationError("delta and count must be positive")
+        self.host = host
+        self.echo_host = echo_host
+        self.echo_port = echo_port
+        self.delta = delta
+        self.count = count
+        self.payload_bytes = payload_bytes
+        self.sent = 0
+        self.send_times: list[float] = []
+
+    def start(self, at: Optional[float] = None) -> None:
+        """Schedule the probe train."""
+        start_time = self.host.sim.now if at is None else at
+        self.host.sim.call_at(start_time, self._send_next,
+                              label="oneway-first-probe")
+
+    def _send_next(self) -> None:
+        payload = packetfmt.encode_probe(
+            self.sent, source_time=self.host.clock.now(),
+            payload_bytes=self.payload_bytes)
+        self.send_times.append(self.host.sim.now)
+        self.host.send_udp(self.echo_host, src_port=ONEWAY_SINK_PORT,
+                           dst_port=self.echo_port, payload=payload,
+                           payload_bytes=len(payload))
+        self.sent += 1
+        if self.sent < self.count:
+            self.host.sim.schedule(self.delta, self._send_next,
+                                   label="oneway-probe")
+
+
+def run_one_way_experiment(network: Network, source: str, echo: str,
+                           destination: str, delta: float, count: int,
+                           start_at: float = 0.0, drain: float = 5.0,
+                           meta: Optional[dict] = None) -> ProbeTrace:
+    """Run a source -> echo -> destination experiment; one-way delays.
+
+    The returned trace stores the (clock-polluted) one-way delays in the
+    rtt slots, with losses marked 0 as usual; ``meta['one_way']`` is set so
+    analyses can tell the difference.  Delay *differences* are still
+    meaningful under constant clock offset — the basis of every
+    equation-(6) quantity — which the tests verify.
+    """
+    if destination == source:
+        raise ConfigurationError(
+            "use run_probe_experiment for the round-trip configuration")
+    source_host = network.host(source)
+    destination_host = network.host(destination)
+    echo_host = network.host(echo)
+
+    sink = OneWaySinkAgent(destination_host)
+    echoer = EchoAgent(echo_host, destination=destination,
+                       destination_port=ONEWAY_SINK_PORT)
+    agent = OneWaySourceAgent(source_host, echo_host=echo,
+                              echo_port=ECHO_PORT, delta=delta, count=count)
+    agent.start(at=start_at)
+    network.sim.run(until=start_at + count * delta + drain)
+
+    delays = np.full(count, LOST)
+    for seq, delay in sink.delays.items():
+        if 0 <= seq < count:
+            # One-way "delays" can be negative under clock offset; shift
+            # into the trace's nonnegative convention is the caller's
+            # business, so clamp only exact zeros which would read as loss.
+            delays[seq] = delay if delay != 0.0 else 1e-12
+    trace_meta = {"one_way": True, "source": source,
+                  "destination": destination,
+                  "source_clock_resolution": source_host.clock.resolution,
+                  "destination_clock_resolution":
+                      destination_host.clock.resolution}
+    trace_meta.update(meta or {})
+    negative = delays[delays != LOST]
+    if negative.size and negative.min() < 0:
+        # Keep ProbeTrace's invariant (rtts >= 0) while preserving the
+        # differences: record the shift applied.
+        shift = -float(negative.min()) + 1e-9
+        delays = np.where(delays == LOST, LOST, delays + shift)
+        trace_meta["offset_shift"] = shift
+    sink.close()
+    echoer.close()
+    return ProbeTrace(delta=delta,
+                      send_times=np.asarray(agent.send_times),
+                      rtts=delays,
+                      payload_bytes=agent.payload_bytes,
+                      wire_bytes=agent.payload_bytes
+                      + UDP_WIRE_OVERHEAD_BYTES,
+                      meta=trace_meta)

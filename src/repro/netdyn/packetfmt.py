@@ -1,0 +1,115 @@
+"""NetDyn probe wire format.
+
+The paper (Section 2) describes the probe payload as a unique packet number
+plus three 6-byte timestamp fields — source, echo, and destination — written
+respectively when the source sends the packet, when the intermediate host
+echoes it, and when it returns to the destination (= source) host.
+
+This module encodes exactly that layout into the probe's 32-byte payload:
+
+====== ===== ==========================================
+offset bytes field
+====== ===== ==========================================
+0      4     sequence number (big-endian unsigned)
+4      6     source timestamp, microseconds
+10     6     echo timestamp, microseconds
+16     6     destination timestamp, microseconds
+22     10    padding (zero)
+====== ===== ==========================================
+
+Timestamps are unsigned 48-bit microsecond counts (wraps after ~8.9 years,
+far beyond any experiment).  A timestamp of all-ones means "not yet written".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import PacketFormatError
+
+#: Default probe payload size used in all the paper's experiments.
+PROBE_PAYLOAD_BYTES = 32
+
+#: Minimum payload that fits the header fields.
+MIN_PAYLOAD_BYTES = 22
+
+_SEQ_BYTES = 4
+_STAMP_BYTES = 6
+_UNSET = (1 << (8 * _STAMP_BYTES)) - 1
+_MICROSECOND = 1e-6
+
+
+@dataclass
+class ProbeHeader:
+    """Decoded probe fields; timestamps are seconds or None if unwritten."""
+
+    seq: int
+    source_time: Optional[float]
+    echo_time: Optional[float]
+    destination_time: Optional[float]
+
+
+def _encode_stamp(value: Optional[float]) -> bytes:
+    if value is None:
+        return _UNSET.to_bytes(_STAMP_BYTES, "big")
+    if value < 0:
+        raise PacketFormatError(f"timestamp must be >= 0, got {value}")
+    micros = int(round(value / _MICROSECOND))
+    if micros >= _UNSET:
+        raise PacketFormatError(f"timestamp {value} s overflows 48 bits")
+    return micros.to_bytes(_STAMP_BYTES, "big")
+
+
+def _decode_stamp(blob: bytes) -> Optional[float]:
+    micros = int.from_bytes(blob, "big")
+    if micros == _UNSET:
+        return None
+    return micros * _MICROSECOND
+
+
+def encode_probe(seq: int, source_time: Optional[float] = None,
+                 echo_time: Optional[float] = None,
+                 destination_time: Optional[float] = None,
+                 payload_bytes: int = PROBE_PAYLOAD_BYTES) -> bytes:
+    """Build a probe payload of ``payload_bytes`` bytes."""
+    if payload_bytes < MIN_PAYLOAD_BYTES:
+        raise PacketFormatError(
+            f"payload must be at least {MIN_PAYLOAD_BYTES} bytes, "
+            f"got {payload_bytes}")
+    if not 0 <= seq < (1 << (8 * _SEQ_BYTES)):
+        raise PacketFormatError(f"sequence number {seq} out of range")
+    header = (seq.to_bytes(_SEQ_BYTES, "big")
+              + _encode_stamp(source_time)
+              + _encode_stamp(echo_time)
+              + _encode_stamp(destination_time))
+    return header + bytes(payload_bytes - len(header))
+
+
+def decode_probe(payload: bytes) -> ProbeHeader:
+    """Parse a probe payload produced by :func:`encode_probe`."""
+    if len(payload) < MIN_PAYLOAD_BYTES:
+        raise PacketFormatError(
+            f"probe payload too short: {len(payload)} bytes")
+    seq = int.from_bytes(payload[:_SEQ_BYTES], "big")
+    offset = _SEQ_BYTES
+    stamps = []
+    for _ in range(3):
+        stamps.append(_decode_stamp(payload[offset:offset + _STAMP_BYTES]))
+        offset += _STAMP_BYTES
+    return ProbeHeader(seq=seq, source_time=stamps[0], echo_time=stamps[1],
+                       destination_time=stamps[2])
+
+
+def stamp_echo_time(payload: bytes, echo_time: float) -> bytes:
+    """Return a copy of ``payload`` with the echo timestamp written."""
+    header = decode_probe(payload)
+    return encode_probe(header.seq, header.source_time, echo_time,
+                        header.destination_time, payload_bytes=len(payload))
+
+
+def stamp_destination_time(payload: bytes, destination_time: float) -> bytes:
+    """Return a copy of ``payload`` with the destination timestamp written."""
+    header = decode_probe(payload)
+    return encode_probe(header.seq, header.source_time, header.echo_time,
+                        destination_time, payload_bytes=len(payload))

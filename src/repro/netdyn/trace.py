@@ -1,0 +1,217 @@
+"""The :class:`ProbeTrace` container: one NetDyn experiment's measurements.
+
+A trace records, for every probe ``n``, the send time ``s_n`` and round-trip
+time ``rtt_n``; following the paper's convention, ``rtt_n = 0`` marks a lost
+probe.  All analysis modules (:mod:`repro.analysis`) consume this type, and
+it round-trips through CSV and JSON so live-network traces and simulated
+traces are interchangeable.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.errors import AnalysisError, InsufficientDataError
+
+#: Sentinel round-trip value for lost probes (the paper's convention).
+LOST = 0.0
+
+
+@dataclass
+class ProbeTrace:
+    """Measured round-trip delays of periodic probes.
+
+    Attributes
+    ----------
+    delta:
+        Interval between probe send times, seconds (the paper's ``δ``).
+    send_times:
+        ``s_n`` for every probe, seconds (source host clock).
+    rtts:
+        ``rtt_n`` for every probe, seconds; ``0.0`` marks a loss.
+    payload_bytes:
+        Probe UDP payload size (32 in the paper).
+    wire_bytes:
+        Probe size on the wire (the paper's ``P`` = 72 bytes).
+    meta:
+        Free-form experiment metadata (path, seed, bottleneck rate, ...).
+    """
+
+    delta: float
+    send_times: np.ndarray
+    rtts: np.ndarray
+    payload_bytes: int = 32
+    wire_bytes: int = 72
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.send_times = np.asarray(self.send_times, dtype=float)
+        self.rtts = np.asarray(self.rtts, dtype=float)
+        if self.send_times.shape != self.rtts.shape:
+            raise AnalysisError(
+                f"send_times and rtts lengths differ: "
+                f"{self.send_times.shape} vs {self.rtts.shape}")
+        if self.delta <= 0:
+            raise AnalysisError(f"delta must be positive, got {self.delta}")
+        if np.any(self.rtts < 0):
+            raise AnalysisError("negative rtt in trace")
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.rtts)
+
+    @property
+    def lost(self) -> np.ndarray:
+        """Boolean mask, True where the probe was lost."""
+        return self.rtts == LOST
+
+    @property
+    def received(self) -> np.ndarray:
+        """Boolean mask, True where the probe came back."""
+        return ~self.lost
+
+    @property
+    def valid_rtts(self) -> np.ndarray:
+        """Round-trip times of received probes only."""
+        return self.rtts[self.received]
+
+    @property
+    def loss_count(self) -> int:
+        """Number of lost probes."""
+        return int(np.count_nonzero(self.lost))
+
+    @property
+    def loss_fraction(self) -> float:
+        """Fraction of probes lost (the paper's ``ulp`` for this trace)."""
+        if len(self) == 0:
+            return 0.0
+        return self.loss_count / len(self)
+
+    def min_rtt(self) -> float:
+        """Smallest observed round trip; estimator of the fixed delay D."""
+        valid = self.valid_rtts
+        if valid.size == 0:
+            raise InsufficientDataError("no received probes in trace")
+        return float(valid.min())
+
+    def queueing_delays(self, base_delay: Optional[float] = None) -> np.ndarray:
+        """``w_n = rtt_n - D`` for received probes; NaN where lost.
+
+        ``base_delay`` defaults to :meth:`min_rtt`, the standard estimator
+        of the fixed component D (propagation + transmission).
+        """
+        base = self.min_rtt() if base_delay is None else base_delay
+        delays = np.where(self.received, self.rtts - base, np.nan)
+        return delays
+
+    def slice(self, start: int, stop: int) -> "ProbeTrace":
+        """A sub-trace of probes ``start <= n < stop`` (metadata shared)."""
+        return ProbeTrace(delta=self.delta,
+                          send_times=self.send_times[start:stop],
+                          rtts=self.rtts[start:stop],
+                          payload_bytes=self.payload_bytes,
+                          wire_bytes=self.wire_bytes,
+                          meta=dict(self.meta))
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_samples(cls, delta: float,
+                     rtts: Sequence[Optional[float]],
+                     payload_bytes: int = 32, wire_bytes: int = 72,
+                     meta: Optional[dict[str, Any]] = None) -> "ProbeTrace":
+        """Build a trace from rtt samples; ``None`` or 0 marks a loss."""
+        cleaned = [LOST if (r is None or r == LOST) else float(r)
+                   for r in rtts]
+        send_times = np.arange(len(cleaned)) * delta
+        return cls(delta=delta, send_times=send_times,
+                   rtts=np.asarray(cleaned), payload_bytes=payload_bytes,
+                   wire_bytes=wire_bytes, meta=dict(meta or {}))
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save_csv(self, path: Union[str, Path]) -> None:
+        """Write ``n, s_n, rtt_n`` rows; metadata goes in ``#`` comments."""
+        path = Path(path)
+        with path.open("w", newline="") as handle:
+            handle.write(f"# delta={self.delta!r}\n")
+            handle.write(f"# payload_bytes={self.payload_bytes}\n")
+            handle.write(f"# wire_bytes={self.wire_bytes}\n")
+            handle.write(f"# meta={json.dumps(self.meta, sort_keys=True)}\n")
+            writer = csv.writer(handle)
+            writer.writerow(["n", "send_time", "rtt"])
+            for n, (s, r) in enumerate(zip(self.send_times, self.rtts)):
+                writer.writerow([n, f"{s:.9f}", f"{r:.9f}"])
+
+    @classmethod
+    def load_csv(cls, path: Union[str, Path]) -> "ProbeTrace":
+        """Read a trace written by :meth:`save_csv`."""
+        path = Path(path)
+        header: dict[str, Any] = {"delta": None, "payload_bytes": 32,
+                                  "wire_bytes": 72, "meta": {}}
+        send_times: list[float] = []
+        rtts: list[float] = []
+        with path.open() as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                if line.startswith("#"):
+                    key, _, value = line[1:].strip().partition("=")
+                    key = key.strip()
+                    if key == "meta":
+                        header["meta"] = json.loads(value)
+                    elif key in header:
+                        header[key] = float(value) if key == "delta" \
+                            else int(value)
+                    continue
+                if line.startswith("n,"):
+                    continue
+                _, s, r = line.split(",")
+                send_times.append(float(s))
+                rtts.append(float(r))
+        if header["delta"] is None:
+            if len(send_times) >= 2:
+                header["delta"] = send_times[1] - send_times[0]
+            else:
+                raise AnalysisError(f"{path}: no delta header and <2 samples")
+        return cls(delta=header["delta"], send_times=np.asarray(send_times),
+                   rtts=np.asarray(rtts),
+                   payload_bytes=header["payload_bytes"],
+                   wire_bytes=header["wire_bytes"], meta=header["meta"])
+
+    def to_json(self) -> str:
+        """Serialize the full trace as a JSON document."""
+        return json.dumps({
+            "delta": self.delta,
+            "payload_bytes": self.payload_bytes,
+            "wire_bytes": self.wire_bytes,
+            "meta": self.meta,
+            "send_times": self.send_times.tolist(),
+            "rtts": self.rtts.tolist(),
+        })
+
+    @classmethod
+    def from_json(cls, document: str) -> "ProbeTrace":
+        """Deserialize a trace produced by :meth:`to_json`."""
+        data = json.loads(document)
+        return cls(delta=data["delta"],
+                   send_times=np.asarray(data["send_times"]),
+                   rtts=np.asarray(data["rtts"]),
+                   payload_bytes=data["payload_bytes"],
+                   wire_bytes=data["wire_bytes"], meta=data["meta"])
+
+    def __repr__(self) -> str:
+        return (f"<ProbeTrace delta={self.delta * 1e3:g}ms n={len(self)} "
+                f"loss={self.loss_fraction:.1%}>")

@@ -1,0 +1,150 @@
+"""ASCII renderings of the paper's figures.
+
+matplotlib is not available in the reproduction environment, so figures are
+rendered as terminal plots: scatter (phase plots), line (time series), and
+histogram (workload distributions).  Every renderer takes plain arrays, so
+the experiment code stays independent of the output medium; the CSV export
+in :mod:`repro.plotting.export` feeds real plotting tools offline.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import AnalysisError
+
+
+def _scale(values: np.ndarray, lo: float, hi: float, cells: int) -> np.ndarray:
+    """Map values in [lo, hi] to integer cells 0..cells-1 (clipped)."""
+    if hi <= lo:
+        return np.zeros(len(values), dtype=int)
+    scaled = (values - lo) / (hi - lo) * (cells - 1)
+    return np.clip(scaled.astype(int), 0, cells - 1)
+
+
+def scatter(x: Sequence[float], y: Sequence[float], width: int = 72,
+            height: int = 24, x_label: str = "", y_label: str = "",
+            title: str = "", diagonal: bool = False) -> str:
+    """Render a scatter plot; point density shown as ``. : * #``.
+
+    With ``diagonal=True`` the line y = x is drawn (as in the paper's phase
+    plots) where no data covers it.
+    """
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if x.shape != y.shape:
+        raise AnalysisError("x and y lengths differ")
+    if x.size == 0:
+        raise AnalysisError("empty scatter")
+    lo = float(min(x.min(), y.min()))
+    hi = float(max(x.max(), y.max()))
+    if hi == lo:
+        hi = lo + 1.0
+
+    grid = np.zeros((height, width), dtype=int)
+    columns = _scale(x, lo, hi, width)
+    rows = _scale(y, lo, hi, height)
+    for r, c in zip(rows, columns):
+        grid[height - 1 - r, c] += 1
+
+    density_chars = " .:*#"
+    max_count = max(1, grid.max())
+    lines = []
+    if title:
+        lines.append(title)
+    for r in range(height):
+        row_chars = []
+        for c in range(width):
+            count = grid[r, c]
+            if count == 0 and diagonal:
+                # Row r represents y-cell (height-1-r); diagonal where equal
+                # after rescaling both axes to the shared [lo, hi] range.
+                y_cell = height - 1 - r
+                x_equivalent = int(c / (width - 1) * (height - 1)) \
+                    if width > 1 else 0
+                if x_equivalent == y_cell:
+                    row_chars.append("/")
+                    continue
+            if count == 0:
+                row_chars.append(" ")
+            else:
+                level = 1 + int((len(density_chars) - 2) * count / max_count)
+                row_chars.append(density_chars[min(level,
+                                                   len(density_chars) - 1)])
+        lines.append("|" + "".join(row_chars))
+    lines.append("+" + "-" * width)
+    footer = f" {x_label}: [{lo:.4g}, {hi:.4g}]"
+    if y_label:
+        footer += f"   {y_label}: same scale"
+    lines.append(footer)
+    return "\n".join(lines)
+
+
+def line(y: Sequence[float], width: int = 72, height: int = 20,
+         title: str = "", y_label: str = "",
+         missing: Optional[Sequence[bool]] = None) -> str:
+    """Render a time series; samples are bucketed into ``width`` columns.
+
+    ``missing`` marks samples (e.g. lost probes) rendered as ``x`` on the
+    baseline, as the paper's Figure 1 shows losses at rtt = 0.
+    """
+    y = np.asarray(y, dtype=float)
+    if y.size == 0:
+        raise AnalysisError("empty series")
+    miss = np.zeros(len(y), dtype=bool) if missing is None \
+        else np.asarray(missing, dtype=bool)
+    valid = y[~miss]
+    if valid.size == 0:
+        raise AnalysisError("all samples missing")
+    lo, hi = float(valid.min()), float(valid.max())
+    if hi == lo:
+        hi = lo + 1.0
+
+    columns = np.array_split(np.arange(len(y)), min(width, len(y)))
+    grid = [[" "] * len(columns) for _ in range(height)]
+    lost_row = [" "] * len(columns)
+    for ci, indices in enumerate(columns):
+        values = y[indices]
+        flags = miss[indices]
+        if np.any(flags):
+            lost_row[ci] = "x"
+        present = values[~flags]
+        if present.size == 0:
+            continue
+        top = _scale(np.array([present.max()]), lo, hi, height)[0]
+        bottom = _scale(np.array([present.min()]), lo, hi, height)[0]
+        for r in range(bottom, top + 1):
+            grid[height - 1 - r][ci] = "|" if top != bottom else "-"
+
+    lines = []
+    if title:
+        lines.append(title)
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "".join(lost_row))
+    lines.append(f" {y_label}: [{lo:.4g}, {hi:.4g}]  (x = loss)")
+    return "\n".join(lines)
+
+
+def histogram(counts: Sequence[int], edges: Sequence[float],
+              width: int = 60, title: str = "", unit: str = "",
+              min_count: int = 0) -> str:
+    """Render a histogram horizontally, one bin per line."""
+    counts = np.asarray(counts)
+    edges = np.asarray(edges, dtype=float)
+    if len(edges) != len(counts) + 1:
+        raise AnalysisError("edges must be one longer than counts")
+    if counts.size == 0:
+        raise AnalysisError("empty histogram")
+    peak = max(1, int(counts.max()))
+    lines = []
+    if title:
+        lines.append(title)
+    for count, lo, hi in zip(counts, edges[:-1], edges[1:]):
+        if count < min_count:
+            continue
+        bar = "#" * max(0, int(round(count / peak * width)))
+        lines.append(f"{lo:9.4g}-{hi:<9.4g}{unit} |{bar} {count}")
+    return "\n".join(lines)

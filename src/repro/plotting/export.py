@@ -1,0 +1,44 @@
+"""CSV export of figure data for offline plotting."""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Sequence, Union
+
+import numpy as np
+
+from repro.errors import AnalysisError
+
+
+def export_columns(path: Union[str, Path], header: Sequence[str],
+                   *columns: Sequence[float]) -> None:
+    """Write equal-length columns as CSV with a header row.
+
+    >>> export_columns("/tmp/fig2.csv", ["rtt_n", "rtt_n1"], [1, 2], [2, 3])
+    """
+    if len(header) != len(columns):
+        raise AnalysisError(
+            f"{len(header)} header names for {len(columns)} columns")
+    arrays = [np.asarray(col) for col in columns]
+    if len({len(a) for a in arrays}) > 1:
+        raise AnalysisError("columns have differing lengths")
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(header)
+        for row in zip(*arrays):
+            writer.writerow([f"{v:.9g}" if isinstance(v, float) else v
+                             for v in row])
+
+
+def export_histogram(path: Union[str, Path], counts: Sequence[int],
+                     edges: Sequence[float]) -> None:
+    """Write histogram bins as ``lo,hi,count`` rows."""
+    counts = np.asarray(counts)
+    edges = np.asarray(edges, dtype=float)
+    if len(edges) != len(counts) + 1:
+        raise AnalysisError("edges must be one longer than counts")
+    export_columns(path, ["bin_lo", "bin_hi", "count"],
+                   edges[:-1], edges[1:], counts)

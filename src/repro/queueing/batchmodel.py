@@ -1,0 +1,179 @@
+"""The queueing model of Figure 3 / Section 6, exactly.
+
+Bolot's model: a single FIFO server of rate μ with a finite buffer of K
+*packets*, fed by (a) the deterministic probe stream (one P-bit packet every
+δ seconds) and (b) an Internet stream contributing a batch of ``b_n`` bits
+between probe arrivals, with a general batch-size distribution ("batch
+deterministic" arrivals).  His conclusion reports that this model reproduces
+probe compression and the essentially-random loss behavior; this module lets
+the benchmarks verify both claims against the full network simulation.
+
+The implementation keeps packet-granular queue state (no event heap needed:
+arrivals are a merge of two known point processes), applies Lindley's logic
+through explicit work accounting, and enforces the K-packet buffer exactly
+as a drop-tail router would.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.netdyn.trace import LOST, ProbeTrace
+
+#: Signature of a batch sampler: rng -> batch size in bits (0 = no batch).
+BatchBitsSampler = Callable[[np.random.Generator], float]
+
+
+def geometric_packet_batches(mean_packets: float, packet_bits: float,
+                             arrival_probability: float = 1.0,
+                             ) -> BatchBitsSampler:
+    """Batches of Geometric(mean) packets of fixed size, or no batch.
+
+    With probability ``1 - arrival_probability`` an interval carries no
+    cross traffic at all; otherwise a geometric number of packets arrives.
+    """
+    if mean_packets < 1:
+        raise ConfigurationError(
+            f"mean batch size must be >= 1, got {mean_packets}")
+    if not 0.0 < arrival_probability <= 1.0:
+        raise ConfigurationError(
+            f"arrival probability must be in (0, 1], got "
+            f"{arrival_probability}")
+    success = 1.0 / mean_packets
+
+    def sample(rng: np.random.Generator) -> float:
+        if rng.random() >= arrival_probability:
+            return 0.0
+        return float(rng.geometric(success)) * packet_bits
+
+    return sample
+
+
+@dataclass
+class BatchModelResult:
+    """Output of one run of the batch-arrival queue model."""
+
+    #: Probe waiting times, seconds; NaN where the probe was lost.
+    waits: np.ndarray
+    #: True where the probe was dropped at the buffer.
+    lost: np.ndarray
+    #: Fraction of cross-traffic bits dropped.
+    cross_loss_fraction: float
+    delta: float
+    probe_bits: float
+    mu: float
+
+    def to_trace(self, fixed_delay: float = 0.0,
+                 meta: Optional[dict] = None) -> ProbeTrace:
+        """Convert to a :class:`ProbeTrace` (rtt = D + wait + service)."""
+        rtts = np.where(np.isnan(self.waits), LOST,
+                        fixed_delay + self.waits + self.probe_bits / self.mu)
+        return ProbeTrace.from_samples(
+            delta=self.delta, rtts=rtts.tolist(),
+            payload_bytes=max(1, int(self.probe_bits / 8) - 40),
+            wire_bytes=int(self.probe_bits / 8),
+            meta={"model": "batch", **(meta or {})})
+
+
+class BatchArrivalQueue:
+    """D (probes) + batch-D (Internet) / D / 1 / K queue.
+
+    Parameters
+    ----------
+    mu:
+        Service rate, bits per second.
+    buffer_packets:
+        Buffer size K in packets (waiting + in service), as in the
+        paper's Figure 3 model.  An arriving packet is dropped when the
+        buffer holds K packets.
+    delta:
+        Probe inter-arrival time, seconds.
+    probe_bits:
+        Probe packet size P, bits.
+    batch_bits:
+        Sampler of the Internet batch size (bits) for each interval.
+    cross_packet_bits:
+        The batch is admitted as packets of this size, one by one, so a
+        batch can be partially accepted (as in a real router).
+    offset_fraction:
+        Batches arrive at ``n δ + offset_fraction · δ``.
+    """
+
+    def __init__(self, mu: float, buffer_packets: int, delta: float,
+                 probe_bits: float, batch_bits: BatchBitsSampler,
+                 cross_packet_bits: float = 552 * 8,
+                 offset_fraction: float = 0.5) -> None:
+        if mu <= 0 or delta <= 0 or probe_bits <= 0:
+            raise ConfigurationError(
+                "mu, delta, and probe_bits must all be positive")
+        if buffer_packets < 1:
+            raise ConfigurationError(
+                f"buffer must hold at least one packet, got {buffer_packets}")
+        if cross_packet_bits <= 0:
+            raise ConfigurationError("cross_packet_bits must be positive")
+        if not 0.0 <= offset_fraction < 1.0:
+            raise ConfigurationError(
+                f"offset fraction must be in [0, 1), got {offset_fraction}")
+        self.mu = mu
+        self.buffer_packets = buffer_packets
+        self.delta = delta
+        self.probe_bits = probe_bits
+        self.batch_bits = batch_bits
+        self.cross_packet_bits = cross_packet_bits
+        self.offset_fraction = offset_fraction
+
+    def run(self, probes: int, rng: np.random.Generator) -> BatchModelResult:
+        """Simulate ``probes`` probe arrivals; exact work accounting."""
+        waits = np.full(probes, np.nan)
+        lost = np.zeros(probes, dtype=bool)
+        queue: deque[float] = deque()  # remaining bits per queued packet
+        last_time = 0.0
+        cross_offered = 0.0
+        cross_dropped = 0.0
+
+        def drain(to_time: float) -> None:
+            nonlocal last_time
+            budget = (to_time - last_time) * self.mu
+            last_time = to_time
+            while queue and budget > 0.0:
+                if queue[0] <= budget:
+                    budget -= queue.popleft()
+                else:
+                    queue[0] -= budget
+                    budget = 0.0
+
+        def backlog_bits() -> float:
+            return sum(queue)
+
+        for n in range(probes):
+            probe_time = n * self.delta
+            drain(probe_time)
+            if len(queue) >= self.buffer_packets:
+                lost[n] = True
+            else:
+                waits[n] = backlog_bits() / self.mu
+                queue.append(self.probe_bits)
+
+            batch = self.batch_bits(rng)
+            if batch > 0:
+                drain(probe_time + self.offset_fraction * self.delta)
+                cross_offered += batch
+                remaining = batch
+                while remaining > 0:
+                    piece = min(self.cross_packet_bits, remaining)
+                    if len(queue) >= self.buffer_packets:
+                        cross_dropped += remaining
+                        break
+                    queue.append(piece)
+                    remaining -= piece
+
+        cross_loss = cross_dropped / cross_offered if cross_offered else 0.0
+        return BatchModelResult(waits=waits, lost=lost,
+                                cross_loss_fraction=cross_loss,
+                                delta=self.delta, probe_bits=self.probe_bits,
+                                mu=self.mu)

@@ -1,0 +1,136 @@
+"""Closing the loop of Section 6: measurements -> model -> measurements.
+
+Bolot's conclusion describes the program this module implements:
+
+    "We are currently analyzing one such model in which the probe arrival
+    process is deterministic and the Internet arrival process is batch
+    deterministic and the batch size distribution is general.  We derive
+    the batch size distribution from our measurements using equation (6).
+    Preliminary investigations show that the analytical results show good
+    correlation with our experimental data."
+
+:func:`fit_batch_distribution` inverts a measured trace into an empirical
+batch-size distribution (equation 6, restricted to the busy regime where it
+holds), and :func:`closed_loop_comparison` runs the
+:class:`~repro.queueing.batchmodel.BatchArrivalQueue` with that
+distribution, then compares the model's loss and compression statistics
+back against the original trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.compression import detect_compression
+from repro.analysis.loss import LossStats, loss_stats
+from repro.analysis.workload import probe_gap_samples
+from repro.errors import AnalysisError, InsufficientDataError
+from repro.netdyn.trace import ProbeTrace
+from repro.queueing.batchmodel import BatchArrivalQueue, BatchBitsSampler
+
+
+@dataclass
+class EmpiricalBatchDistribution:
+    """Batch sizes (bits per probe interval) resampled from a trace."""
+
+    #: The inferred b_n samples, bits (>= 0; 0 means an idle interval).
+    batch_bits: np.ndarray
+    #: Fraction of intervals attributed to the idle regime.
+    idle_fraction: float
+    delta: float
+    mu: float
+
+    def sampler(self) -> BatchBitsSampler:
+        """A :class:`BatchArrivalQueue`-compatible bootstrap sampler."""
+        samples = self.batch_bits
+
+        def sample(rng: np.random.Generator) -> float:
+            return float(samples[rng.integers(0, len(samples))])
+
+        return sample
+
+    def mean_load(self) -> float:
+        """Mean offered cross-traffic load as a fraction of μ."""
+        return float(self.batch_bits.mean()) / (self.delta * self.mu)
+
+
+def fit_batch_distribution(trace: ProbeTrace, mu: float,
+                           ) -> EmpiricalBatchDistribution:
+    """Invert equation (6) on a trace's probe gaps.
+
+    For each pair of consecutively received probes the gap
+    ``g = w_{n+1} − w_n + δ`` yields ``b_n = μ g − P``.  The estimate is
+    only valid while the bottleneck stays busy; gaps within half a probe
+    service time of ``δ`` are attributed to the idle regime and mapped to
+    ``b_n = 0`` (the δ-peak of Figures 8/9), and negative estimates are
+    clipped.
+    """
+    if mu <= 0:
+        raise AnalysisError(f"mu must be positive, got {mu}")
+    gaps = probe_gap_samples(trace)
+    if gaps.size < 10:
+        raise InsufficientDataError(
+            f"only {gaps.size} probe gaps; need at least 10")
+    probe_bits = trace.wire_bytes * 8
+    service = probe_bits / mu
+    idle = np.abs(gaps - trace.delta) <= service / 2.0
+    batches = np.maximum(0.0, mu * gaps - probe_bits)
+    batches[idle] = 0.0
+    return EmpiricalBatchDistribution(batch_bits=batches,
+                                      idle_fraction=float(idle.mean()),
+                                      delta=trace.delta, mu=mu)
+
+
+@dataclass
+class ClosureReport:
+    """Model-vs-measurement comparison after closing the loop."""
+
+    measured_loss: LossStats
+    model_loss: LossStats
+    measured_compression: float
+    model_compression: float
+    mean_load: float
+
+    def loss_ratio(self) -> float:
+        """Model ulp / measured ulp (1.0 = perfect)."""
+        if self.measured_loss.ulp == 0:
+            return float("inf") if self.model_loss.ulp > 0 else 1.0
+        return self.model_loss.ulp / self.measured_loss.ulp
+
+
+def closed_loop_comparison(trace: ProbeTrace, mu: float,
+                           buffer_packets: int, seed: int = 0,
+                           probes: int = 0) -> ClosureReport:
+    """Fit the batch distribution from ``trace``, re-run the model, compare.
+
+    Parameters
+    ----------
+    trace:
+        The measured trace (simulated or live).
+    mu:
+        Bottleneck service rate, bits/s.
+    buffer_packets:
+        The model's K.
+    probes:
+        Model run length; defaults to the trace length.
+    """
+    distribution = fit_batch_distribution(trace, mu=mu)
+    model = BatchArrivalQueue(mu=mu, buffer_packets=buffer_packets,
+                              delta=trace.delta,
+                              probe_bits=trace.wire_bytes * 8,
+                              batch_bits=distribution.sampler())
+    count = probes if probes > 0 else len(trace)
+    result = model.run(count, np.random.default_rng(seed))
+    model_trace = result.to_trace(fixed_delay=trace.min_rtt())
+
+    measured_compression = detect_compression(trace, mu=mu).pair_fraction
+    model_compression = detect_compression(model_trace,
+                                           mu=mu).pair_fraction
+    return ClosureReport(
+        measured_loss=loss_stats(trace),
+        model_loss=loss_stats(model_trace),
+        measured_compression=measured_compression,
+        model_compression=model_compression,
+        mean_load=distribution.mean_load())

@@ -1,0 +1,68 @@
+"""Palm-calculus identities for the loss gap (footnote 2 of the paper).
+
+For a stationary, ergodic loss sequence, the mean length of loss bursts
+(the packet loss gap ``plg``) and the conditional loss probability ``clp``
+are linked by ``plg = 1 / (1 − clp)``.  These helpers convert between the
+two and verify the identity empirically on finite sequences, which the
+property-based tests exercise.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import AnalysisError
+
+
+def loss_gap_from_clp(clp: float) -> float:
+    """``plg = 1 / (1 − clp)``."""
+    if not 0.0 <= clp <= 1.0:
+        raise AnalysisError(f"clp must be in [0, 1], got {clp}")
+    if clp >= 1.0:
+        return float("inf")
+    return 1.0 / (1.0 - clp)
+
+
+def clp_from_loss_gap(plg: float) -> float:
+    """Inverse of :func:`loss_gap_from_clp`."""
+    if plg < 1.0:
+        raise AnalysisError(f"loss gap must be >= 1, got {plg}")
+    return 1.0 - 1.0 / plg
+
+
+def empirical_identity_gap(losses: Sequence[int]) -> float:
+    """|mean run length − 1/(1 − clp̂)| on a finite 0/1 sequence.
+
+    For sequences whose final element does not truncate a loss run, the
+    empirical mean burst length equals ``1 / (1 − clp̂)`` *exactly* when
+    clp̂ is estimated with the convention that the last loss of the
+    sequence contributes a (loss -> end) transition counted as a recovery.
+    This function uses the plain estimators and therefore reports a small
+    finite-sample gap, which must shrink as sequences grow — the property
+    the tests assert.
+    """
+    arr = np.asarray(losses, dtype=int)
+    if arr.ndim != 1 or arr.size < 2:
+        raise AnalysisError("need a 1-D sequence of at least two indicators")
+    if np.any((arr != 0) & (arr != 1)):
+        raise AnalysisError("loss sequence must be 0/1")
+    lost = arr.astype(bool)
+    predecessors = lost[:-1].sum()
+    if predecessors == 0:
+        raise AnalysisError("no losses in sequence")
+    clp = (lost[:-1] & lost[1:]).sum() / predecessors
+
+    runs = []
+    current = 0
+    for flag in lost:
+        if flag:
+            current += 1
+        elif current:
+            runs.append(current)
+            current = 0
+    if current:
+        runs.append(current)
+    mean_run = float(np.mean(runs))
+    return abs(mean_run - loss_gap_from_clp(float(clp)))

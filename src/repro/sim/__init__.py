@@ -1,0 +1,23 @@
+"""Discrete-event simulation kernel.
+
+The kernel is deliberately small: an event heap with deterministic
+tie-breaking (:mod:`repro.sim.events`), a simulator clock and run loop
+(:mod:`repro.sim.kernel`), named reproducible random streams
+(:mod:`repro.sim.random`), and measurement instruments
+(:mod:`repro.sim.monitor`).
+"""
+
+from repro.sim.events import Event, EventQueue
+from repro.sim.kernel import Simulator
+from repro.sim.monitor import Counter, SampleStats, TimeWeightedValue
+from repro.sim.random import RandomStreams
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "Simulator",
+    "Counter",
+    "SampleStats",
+    "TimeWeightedValue",
+    "RandomStreams",
+]

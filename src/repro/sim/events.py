@@ -1,0 +1,96 @@
+"""Event objects and the pending-event queue of the discrete-event kernel.
+
+Events are ordered by ``(time, priority, sequence)``.  The sequence number is
+a monotonically increasing counter assigned at scheduling time, which makes
+the execution order of simultaneous events deterministic (FIFO within the
+same time and priority) and therefore makes whole simulations reproducible
+from a seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Optional
+
+#: Default event priority.  Lower values run first at equal timestamps.
+DEFAULT_PRIORITY = 0
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Attributes
+    ----------
+    time:
+        Absolute simulation time (seconds) at which the event fires.
+    priority:
+        Tie-breaker among events scheduled for the same time; lower runs
+        first.
+    sequence:
+        Scheduling-order counter; final tie-breaker, guarantees determinism.
+    action:
+        Zero-argument callable invoked when the event fires.
+    label:
+        Optional human-readable tag used in error messages and tracing.
+    """
+
+    time: float
+    priority: int
+    sequence: int
+    action: Callable[[], Any] = field(compare=False)
+    label: str = field(default="", compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the kernel skips it when it is popped."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """A binary-heap pending-event set with lazy cancellation.
+
+    Cancelled events stay in the heap and are discarded when popped; this
+    keeps :meth:`cancel` O(1) at the cost of transient heap growth, which is
+    the right trade-off for timer-heavy network simulations.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter: Iterator[int] = itertools.count()
+
+    def __len__(self) -> int:
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    def __bool__(self) -> bool:
+        return any(not event.cancelled for event in self._heap)
+
+    def push(self, time: float, action: Callable[[], Any],
+             priority: int = DEFAULT_PRIORITY, label: str = "") -> Event:
+        """Add an event and return a handle that supports ``cancel()``."""
+        event = Event(time=time, priority=priority,
+                      sequence=next(self._counter), action=action, label=label)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the earliest live event, or None if empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Return the firing time of the earliest live event, or None."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def clear(self) -> None:
+        """Drop every pending event."""
+        self._heap.clear()

@@ -1,0 +1,126 @@
+"""Measurement helpers: counters, time-weighted averages, and sample traces.
+
+These are the simulator-side instruments used to validate the network
+substrate (e.g. that a queue's time-averaged occupancy matches M/D/1 theory)
+and to drive ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.sim.kernel import Simulator
+
+
+class Counter:
+    """A plain event counter with a rate helper."""
+
+    def __init__(self, sim: Simulator, name: str = "") -> None:
+        self._sim = sim
+        self.name = name
+        self.count = 0
+        self._start = sim.now
+
+    def increment(self, by: int = 1) -> None:
+        """Add ``by`` (default 1) to the count."""
+        self.count += by
+
+    def rate(self) -> float:
+        """Events per second since the counter was created."""
+        elapsed = self._sim.now - self._start
+        if elapsed <= 0:
+            return 0.0
+        return self.count / elapsed
+
+
+class TimeWeightedValue:
+    """Tracks a piecewise-constant value and its time-weighted statistics.
+
+    Typical use: queue occupancy.  Call :meth:`update` whenever the value
+    changes; query :meth:`mean` at any time.
+    """
+
+    def __init__(self, sim: Simulator, initial: float = 0.0) -> None:
+        self._sim = sim
+        self._value = initial
+        self._last_change = sim.now
+        self._weighted_sum = 0.0
+        self._start = sim.now
+        self._max = initial
+        self._min = initial
+
+    @property
+    def value(self) -> float:
+        """The current value."""
+        return self._value
+
+    def update(self, new_value: float) -> None:
+        """Record that the tracked value changed to ``new_value`` now."""
+        now = self._sim.now
+        self._weighted_sum += self._value * (now - self._last_change)
+        self._value = new_value
+        self._last_change = now
+        self._max = max(self._max, new_value)
+        self._min = min(self._min, new_value)
+
+    def mean(self) -> float:
+        """Time-weighted mean of the value since creation."""
+        now = self._sim.now
+        total = (now - self._start)
+        if total <= 0:
+            return self._value
+        weighted = self._weighted_sum + self._value * (now - self._last_change)
+        return weighted / total
+
+    def maximum(self) -> float:
+        """Largest value observed."""
+        return self._max
+
+    def minimum(self) -> float:
+        """Smallest value observed."""
+        return self._min
+
+
+class SampleStats:
+    """Streaming mean/variance/min/max over unweighted samples (Welford)."""
+
+    def __init__(self) -> None:
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self._min: Optional[float] = None
+        self._max: Optional[float] = None
+
+    def add(self, sample: float) -> None:
+        """Incorporate one sample."""
+        self.count += 1
+        delta = sample - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (sample - self._mean)
+        if self._min is None or sample < self._min:
+            self._min = sample
+        if self._max is None or sample > self._max:
+            self._max = sample
+
+    def mean(self) -> float:
+        """Sample mean (0.0 if no samples)."""
+        return self._mean if self.count else 0.0
+
+    def variance(self) -> float:
+        """Unbiased sample variance (0.0 with fewer than two samples)."""
+        if self.count < 2:
+            return 0.0
+        return self._m2 / (self.count - 1)
+
+    def stddev(self) -> float:
+        """Unbiased sample standard deviation."""
+        return math.sqrt(self.variance())
+
+    def minimum(self) -> Optional[float]:
+        """Smallest sample seen, or None if empty."""
+        return self._min
+
+    def maximum(self) -> Optional[float]:
+        """Largest sample seen, or None if empty."""
+        return self._max

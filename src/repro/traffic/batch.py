@@ -1,0 +1,80 @@
+"""Batch-arrival traffic: several packets delivered back to back.
+
+This is the arrival process of the model Bolot analyzes in his conclusion
+("the Internet arrival process is batch deterministic and the batch size
+distribution is general"): batches of ``b_n`` bits arrive between probe
+arrivals.  Back-to-back batches are what cause probe compression.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.net.host import Host
+from repro.traffic.base import SINK_PORT, TrafficSource
+from repro.traffic.sizes import FixedSize, SizeDistribution
+
+#: Signature of a batch-size sampler: rng -> number of packets.
+BatchSampler = Callable[[np.random.Generator], int]
+
+
+def geometric_batches(mean_packets: float) -> BatchSampler:
+    """Batch sizes ~ Geometric with the given mean (support >= 1)."""
+    if mean_packets < 1:
+        raise ConfigurationError(
+            f"mean batch size must be >= 1, got {mean_packets}")
+    success = 1.0 / mean_packets
+    return lambda rng: int(rng.geometric(success))
+
+
+def fixed_batches(packets: int) -> BatchSampler:
+    """Every batch has exactly ``packets`` packets."""
+    if packets < 1:
+        raise ConfigurationError(f"batch size must be >= 1, got {packets}")
+    return lambda rng: packets
+
+
+class BatchSource(TrafficSource):
+    """Batches of packets arriving as a Poisson or deterministic process.
+
+    Parameters
+    ----------
+    batch_rate:
+        Mean batches per second.
+    batch_sizes:
+        Sampler for the number of packets per batch.
+    sizes:
+        Payload size distribution for packets inside a batch.
+    deterministic:
+        If True, batches arrive exactly every ``1/batch_rate`` seconds;
+        otherwise inter-batch times are exponential.
+    """
+
+    def __init__(self, host: Host, destination: str, batch_rate: float,
+                 batch_sizes: BatchSampler,
+                 sizes: Optional[SizeDistribution] = None,
+                 deterministic: bool = False, port: int = SINK_PORT,
+                 stream: str = "traffic.batch") -> None:
+        super().__init__(host, destination, port=port, stream=stream)
+        if batch_rate <= 0:
+            raise ConfigurationError(
+                f"batch rate must be positive, got {batch_rate}")
+        self.batch_rate = batch_rate
+        self.batch_sizes = batch_sizes
+        self.sizes = sizes if sizes is not None else FixedSize(512)
+        self.deterministic = deterministic
+        self.batches_sent = 0
+
+    def _next_interval(self) -> float:
+        if self.deterministic:
+            return 1.0 / self.batch_rate
+        return float(self.rng.exponential(1.0 / self.batch_rate))
+
+    def _emit(self) -> None:
+        count = self.batch_sizes(self.rng)
+        self.batches_sent += 1
+        for _ in range(count):
+            self._send(self.sizes.sample(self.rng))

@@ -1,0 +1,35 @@
+"""Constant-bit-rate (periodic) traffic source."""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.net.host import Host
+from repro.traffic.base import SINK_PORT, TrafficSource
+
+
+class CBRSource(TrafficSource):
+    """Sends one fixed-size packet every ``interval`` seconds.
+
+    This is the probe stream's own arrival process; it is also the model of
+    packet audio sources (22.5–125 ms intervals) discussed in Section 5 of
+    the paper.
+    """
+
+    def __init__(self, host: Host, destination: str, interval: float,
+                 payload_bytes: int, port: int = SINK_PORT,
+                 stream: str = "traffic.cbr") -> None:
+        super().__init__(host, destination, port=port, stream=stream)
+        if interval <= 0:
+            raise ConfigurationError(
+                f"interval must be positive, got {interval}")
+        if payload_bytes <= 0:
+            raise ConfigurationError(
+                f"payload size must be positive, got {payload_bytes}")
+        self.interval = interval
+        self.payload_bytes = payload_bytes
+
+    def _next_interval(self) -> float:
+        return self.interval
+
+    def _emit(self) -> None:
+        self._send(self.payload_bytes)

@@ -1,0 +1,101 @@
+"""Composite Internet workload: bulk + interactive mix sized to a target load.
+
+:func:`attach_internet_mix` instantiates FTP-like and Telnet-like sources on
+a pair of hosts so that the *wire* load offered to a link of known rate hits
+a target utilization with a chosen bulk/interactive split.  This is the
+"Internet stream" of the paper's model, and the knob the calibrated
+scenarios use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.net.host import Host
+from repro.net.packet import UDP_WIRE_OVERHEAD_BYTES
+from repro.traffic.base import SINK_PORT, TrafficSink, TrafficSource
+from repro.traffic.ftp import FtpSource
+from repro.traffic.sizes import FTP_PAYLOAD_BYTES, telnet_sizes
+from repro.traffic.telnet import TelnetSource
+
+
+@dataclass
+class InternetMix:
+    """A bundle of started sources plus their sinks."""
+
+    sources: list[TrafficSource]
+    sinks: list[TrafficSink]
+
+    def start(self, at: float = 0.0) -> None:
+        """Start every source at simulation time ``at``."""
+        for source in self.sources:
+            source.start(at=at)
+
+    def stop(self) -> None:
+        """Stop every source."""
+        for source in self.sources:
+            source.stop()
+
+    def packets_sent(self) -> int:
+        """Total packets emitted by all sources."""
+        return sum(source.packets_sent for source in self.sources)
+
+
+def attach_internet_mix(sender: Host, receiver: Host, link_rate_bps: float,
+                        utilization: float, bulk_fraction: float = 0.8,
+                        window: int = 4, window_interval: float = 0.25,
+                        mean_file_packets: float = 20.0,
+                        base_port: int = SINK_PORT,
+                        stream_prefix: str = "mix") -> InternetMix:
+    """Create a bulk+interactive mix offering ``utilization`` of a link.
+
+    Parameters
+    ----------
+    sender, receiver:
+        Hosts at the two ends of the traffic's path (typically colocated
+        with the bottleneck link's endpoints).
+    link_rate_bps:
+        Rate of the link to be loaded.
+    utilization:
+        Target fraction of ``link_rate_bps`` occupied by this mix,
+        counting wire bytes (payload + headers).
+    bulk_fraction:
+        Fraction of the offered bits carried by the FTP-like source; the
+        remainder goes to the Telnet-like source.
+    """
+    if not 0.0 < utilization < 1.0:
+        raise ConfigurationError(
+            f"utilization must be in (0, 1), got {utilization}")
+    if not 0.0 <= bulk_fraction <= 1.0:
+        raise ConfigurationError(
+            f"bulk fraction must be in [0, 1], got {bulk_fraction}")
+
+    target_bps = utilization * link_rate_bps
+    sources: list[TrafficSource] = []
+    sinks: list[TrafficSink] = []
+
+    if bulk_fraction > 0:
+        ftp_wire_bytes = FTP_PAYLOAD_BYTES + UDP_WIRE_OVERHEAD_BYTES
+        ftp_bps = bulk_fraction * target_bps
+        session_rate = ftp_bps / (mean_file_packets * ftp_wire_bytes * 8)
+        ftp_port = base_port
+        sinks.append(TrafficSink(receiver, port=ftp_port))
+        sources.append(FtpSource(
+            sender, receiver.name, session_rate=session_rate,
+            mean_file_packets=mean_file_packets, window=window,
+            window_interval=window_interval, port=ftp_port,
+            stream=f"{stream_prefix}.ftp"))
+
+    if bulk_fraction < 1:
+        sizes = telnet_sizes()
+        telnet_wire_bytes = sizes.mean() + UDP_WIRE_OVERHEAD_BYTES
+        telnet_bps = (1.0 - bulk_fraction) * target_bps
+        rate_pps = telnet_bps / (telnet_wire_bytes * 8)
+        telnet_port = base_port + 1
+        sinks.append(TrafficSink(receiver, port=telnet_port))
+        sources.append(TelnetSource(
+            sender, receiver.name, rate_pps=rate_pps, sizes=sizes,
+            port=telnet_port, stream=f"{stream_prefix}.telnet"))
+
+    return InternetMix(sources=sources, sinks=sinks)

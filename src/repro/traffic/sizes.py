@@ -1,0 +1,80 @@
+"""Packet-size distributions for traffic sources.
+
+The paper's measurements resolve the Internet stream into bulk transfers
+with large packets (one peak per 512-byte FTP packet in Figures 8/9) and
+interactive traffic with small packets.  These distributions generate that
+mix.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+#: Classic FTP/NFS bulk data payload of the early-90s Internet.
+FTP_PAYLOAD_BYTES = 512
+
+#: Typical interactive (Telnet) payloads: a keystroke to a line of output.
+TELNET_PAYLOAD_CHOICES = (1, 2, 4, 8, 16, 32, 64)
+
+
+class SizeDistribution:
+    """Interface: draw one payload size in bytes."""
+
+    def sample(self, rng: np.random.Generator) -> int:
+        """Return one payload size."""
+        raise NotImplementedError
+
+    def mean(self) -> float:
+        """Expected payload size in bytes."""
+        raise NotImplementedError
+
+
+class FixedSize(SizeDistribution):
+    """Every packet has the same payload size."""
+
+    def __init__(self, payload_bytes: int) -> None:
+        if payload_bytes <= 0:
+            raise ConfigurationError(
+                f"payload size must be positive, got {payload_bytes}")
+        self.payload_bytes = payload_bytes
+
+    def sample(self, rng: np.random.Generator) -> int:
+        return self.payload_bytes
+
+    def mean(self) -> float:
+        return float(self.payload_bytes)
+
+
+class EmpiricalSize(SizeDistribution):
+    """Draws from a finite set of sizes with given probabilities."""
+
+    def __init__(self, sizes: Sequence[int],
+                 weights: Sequence[float]) -> None:
+        if len(sizes) != len(weights) or not sizes:
+            raise ConfigurationError("sizes and weights must match, nonempty")
+        total = float(sum(weights))
+        if total <= 0:
+            raise ConfigurationError("weights must sum to a positive value")
+        self.sizes = np.asarray(sizes, dtype=int)
+        self.probabilities = np.asarray(weights, dtype=float) / total
+
+    def sample(self, rng: np.random.Generator) -> int:
+        return int(rng.choice(self.sizes, p=self.probabilities))
+
+    def mean(self) -> float:
+        return float(np.dot(self.sizes, self.probabilities))
+
+
+def telnet_sizes() -> EmpiricalSize:
+    """Interactive packet sizes, skewed toward single keystrokes."""
+    weights = [0.35, 0.15, 0.12, 0.12, 0.1, 0.08, 0.08]
+    return EmpiricalSize(TELNET_PAYLOAD_CHOICES, weights)
+
+
+def ftp_sizes() -> FixedSize:
+    """Bulk data packets: full 512-byte segments."""
+    return FixedSize(FTP_PAYLOAD_BYTES)

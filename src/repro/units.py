@@ -1,0 +1,68 @@
+"""Unit helpers and physical constants used throughout the library.
+
+Internally the library uses SI base units everywhere: **seconds** for time,
+**bits** for data volume, and **bits per second** for rates.  These helpers
+exist so call sites can state their intent (``ms(50)`` rather than ``0.050``)
+and so magic conversion factors appear exactly once.
+"""
+
+from __future__ import annotations
+
+#: Bits per byte (octet).
+BITS_PER_BYTE = 8
+
+#: Speed of light in fiber, m/s (refraction index ~1.468).
+FIBER_LIGHT_SPEED_M_PER_S = 2.0e8
+
+
+def ms(value: float) -> float:
+    """Convert milliseconds to seconds."""
+    return value * 1e-3
+
+
+def us(value: float) -> float:
+    """Convert microseconds to seconds."""
+    return value * 1e-6
+
+
+def seconds_to_ms(value: float) -> float:
+    """Convert seconds to milliseconds."""
+    return value * 1e3
+
+
+def kbps(value: float) -> float:
+    """Convert kilobits per second to bits per second."""
+    return value * 1e3
+
+
+def mbps(value: float) -> float:
+    """Convert megabits per second to bits per second."""
+    return value * 1e6
+
+
+def bytes_to_bits(value: float) -> float:
+    """Convert bytes to bits."""
+    return value * BITS_PER_BYTE
+
+def bits_to_bytes(value: float) -> float:
+    """Convert bits to bytes."""
+    return value / BITS_PER_BYTE
+
+
+def transmission_delay(size_bytes: float, rate_bps: float) -> float:
+    """Time in seconds to serialize ``size_bytes`` onto a ``rate_bps`` link.
+
+    >>> transmission_delay(72, 128_000)  # one Bolot probe on the bottleneck
+    0.0045
+    """
+    if rate_bps <= 0:
+        raise ValueError(f"link rate must be positive, got {rate_bps}")
+    return bytes_to_bits(size_bytes) / rate_bps
+
+
+def propagation_delay(distance_m: float,
+                      speed_m_per_s: float = FIBER_LIGHT_SPEED_M_PER_S) -> float:
+    """Propagation delay in seconds over ``distance_m`` meters of fiber."""
+    if speed_m_per_s <= 0:
+        raise ValueError(f"signal speed must be positive, got {speed_m_per_s}")
+    return distance_m / speed_m_per_s

@@ -1,0 +1,91 @@
+"""Tests for delay-variation metrics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.jitter import (
+    ipdv,
+    jitter_vs_buffer_tradeoff,
+    rfc3550_jitter,
+)
+from repro.errors import AnalysisError, InsufficientDataError
+from repro.netdyn.trace import ProbeTrace
+
+
+def trace_of(rtts, delta=0.02):
+    return ProbeTrace.from_samples(delta=delta, rtts=rtts)
+
+
+class TestRfc3550:
+    def test_constant_delay_zero_jitter(self):
+        assert rfc3550_jitter(trace_of([0.14] * 50)) == 0.0
+
+    def test_alternating_delay_converges_to_step(self):
+        # |Δ| = 10 ms every step: J converges to 10 ms.
+        rtts = [0.14, 0.15] * 200
+        assert rfc3550_jitter(trace_of(rtts)) == pytest.approx(0.01,
+                                                               rel=0.02)
+
+    def test_gain_controls_convergence(self):
+        rtts = [0.14] * 50 + [0.15, 0.14] * 5
+        slow = rfc3550_jitter(trace_of(rtts), gain=1.0 / 64.0)
+        fast = rfc3550_jitter(trace_of(rtts), gain=0.5)
+        assert fast > slow
+
+    def test_losses_skipped(self):
+        rtts = [0.14, 0.0, 0.14, 0.14]
+        assert rfc3550_jitter(trace_of(rtts)) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            rfc3550_jitter(trace_of([0.1, 0.2]), gain=0.0)
+        with pytest.raises(InsufficientDataError):
+            rfc3550_jitter(trace_of([0.1, 0.0, 0.1]))
+
+
+class TestIpdv:
+    def test_quantiles_ordered(self):
+        rng = np.random.default_rng(3)
+        rtts = 0.14 + rng.exponential(0.02, 1000)
+        summary = ipdv(trace_of(rtts.tolist()))
+        assert 0.0 <= summary.p50 <= summary.p95 <= summary.p99 \
+            <= summary.maximum
+
+    def test_constant_delay(self):
+        summary = ipdv(trace_of([0.14] * 20))
+        assert summary.maximum == 0.0
+        assert summary.mean_abs == 0.0
+
+    def test_str_in_ms(self):
+        assert "ms" in str(ipdv(trace_of([0.14, 0.15, 0.14])))
+
+
+class TestBufferTradeoff:
+    def test_jitter_budget(self):
+        # One packet in a hundred is 100 ms late; the 99.5th-percentile
+        # budget interpolates between the 99th and 100th order statistics.
+        rtts = [0.14] * 99 + [0.24]
+        budget = jitter_vs_buffer_tradeoff(trace_of(rtts), quantile=0.995)
+        assert 0.04 <= budget <= 0.1
+
+    def test_higher_quantile_bigger_budget(self):
+        rng = np.random.default_rng(4)
+        rtts = (0.14 + rng.exponential(0.05, 2000)).tolist()
+        trace = trace_of(rtts)
+        assert jitter_vs_buffer_tradeoff(trace, 0.999) > \
+            jitter_vs_buffer_tradeoff(trace, 0.9)
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            jitter_vs_buffer_tradeoff(trace_of([0.1, 0.2]), quantile=1.0)
+
+
+class TestOnRealSimulation:
+    def test_jitter_grows_with_load(self, idle_trace, loaded_trace):
+        assert rfc3550_jitter(loaded_trace) > rfc3550_jitter(idle_trace)
+
+    def test_ipdv_on_loaded_path(self, loaded_trace):
+        summary = ipdv(loaded_trace)
+        # Delay steps on a 128 kb/s bottleneck are multiples of packet
+        # service times: tens of milliseconds at the tail.
+        assert 0.001 <= summary.p95 <= 0.3

@@ -1,0 +1,161 @@
+"""Tests for loss-process analysis (Table 3 metrics, Gilbert, runs test)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.loss import (
+    fit_gilbert,
+    GilbertModel,
+    loss_gap_distribution,
+    loss_runs,
+    loss_stats,
+    mean_loss_gap,
+    runs_test,
+)
+from repro.errors import InsufficientDataError
+from repro.netdyn.trace import ProbeTrace
+
+
+def trace_from_losses(pattern):
+    """0 = received (rtt 0.1), 1 = lost."""
+    return ProbeTrace.from_samples(
+        delta=0.05, rtts=[0.0 if bit else 0.1 for bit in pattern])
+
+
+class TestLossStats:
+    def test_ulp(self):
+        stats = loss_stats(trace_from_losses([0, 1, 0, 1]))
+        assert stats.ulp == pytest.approx(0.5)
+        assert stats.losses == 2
+        assert stats.count == 4
+
+    def test_clp_counts_consecutive_losses(self):
+        # Losses at 1,2 and 4: one loss->loss transition out of three
+        # loss-predecessors (positions 1, 2, 4 is last so excluded? no:
+        # predecessors are positions 0..n-2 that are lost: 1, 2).
+        stats = loss_stats(trace_from_losses([0, 1, 1, 0, 1]))
+        assert stats.clp == pytest.approx(0.5)
+
+    def test_plg_from_clp(self):
+        stats = loss_stats(trace_from_losses([0, 1, 1, 0, 1]))
+        assert stats.plg == pytest.approx(1.0 / (1.0 - 0.5))
+
+    def test_no_losses(self):
+        stats = loss_stats(trace_from_losses([0, 0, 0]))
+        assert stats.ulp == 0.0
+        assert stats.clp == 0.0
+        assert stats.plg == 1.0
+
+    def test_all_lost(self):
+        stats = loss_stats(trace_from_losses([1, 1, 1]))
+        assert stats.ulp == 1.0
+        assert stats.clp == 1.0
+        assert math.isinf(stats.plg)
+
+    def test_burstiness_flag(self):
+        # Losses come in pairs: ulp = 0.25 but clp = 0.5.
+        bursty = loss_stats(trace_from_losses([1, 1, 0, 0, 0, 0, 0, 0] * 10))
+        assert bursty.is_bursty()
+        # Isolated losses: clp = 0 < ulp.
+        random = loss_stats(trace_from_losses([1, 0, 0, 0] * 10))
+        assert not random.is_bursty()
+
+    def test_too_short(self):
+        with pytest.raises(InsufficientDataError):
+            loss_stats(trace_from_losses([1]))
+
+
+class TestLossRuns:
+    def test_run_extraction(self):
+        assert loss_runs(trace_from_losses([1, 1, 0, 1, 0, 1, 1, 1])) == \
+            [2, 1, 3]
+
+    def test_trailing_run(self):
+        assert loss_runs(trace_from_losses([0, 1, 1])) == [2]
+
+    def test_no_losses(self):
+        assert loss_runs(trace_from_losses([0, 0])) == []
+
+    def test_gap_distribution(self):
+        dist = loss_gap_distribution(trace_from_losses([1, 0, 1, 0, 1, 1]))
+        assert dist == {1: 2, 2: 1}
+
+    def test_mean_loss_gap(self):
+        trace = trace_from_losses([1, 0, 1, 1, 0, 1, 1, 1, 0])
+        assert mean_loss_gap(trace) == pytest.approx(2.0)
+
+    def test_mean_loss_gap_requires_losses(self):
+        with pytest.raises(InsufficientDataError):
+            mean_loss_gap(trace_from_losses([0, 0]))
+
+
+class TestGilbert:
+    def test_fit_recovers_known_chain(self, rng):
+        model = GilbertModel(p=0.05, q=0.4)
+        sequence = model.simulate(100_000, rng)
+        trace = trace_from_losses(sequence.tolist())
+        fitted = fit_gilbert(trace)
+        assert fitted.p == pytest.approx(0.05, abs=0.01)
+        assert fitted.q == pytest.approx(0.4, abs=0.05)
+
+    def test_derived_quantities(self):
+        model = GilbertModel(p=0.1, q=0.5)
+        assert model.stationary_loss == pytest.approx(0.1 / 0.6)
+        assert model.mean_burst_length == pytest.approx(2.0)
+        assert model.conditional_loss == pytest.approx(0.5)
+
+    def test_degenerate_models(self):
+        assert GilbertModel(p=0.0, q=0.0).stationary_loss == 0.0
+        assert math.isinf(GilbertModel(p=0.5, q=0.0).mean_burst_length)
+
+    def test_gilbert_consistent_with_loss_stats(self, rng):
+        model = GilbertModel(p=0.08, q=0.6)
+        trace = trace_from_losses(model.simulate(50_000, rng).tolist())
+        stats = loss_stats(trace)
+        fitted = fit_gilbert(trace)
+        # clp estimated by loss_stats = 1 - q estimated by the fit.
+        assert stats.clp == pytest.approx(fitted.conditional_loss, abs=1e-9)
+
+
+class TestRunsTest:
+    def test_independent_losses_pass(self, rng):
+        pattern = (rng.random(5000) < 0.1).astype(int)
+        result = runs_test(trace_from_losses(pattern.tolist()))
+        assert result.looks_random(alpha=0.001)
+
+    def test_bursty_losses_fail(self, rng):
+        model = GilbertModel(p=0.05, q=0.2)  # strongly bursty
+        pattern = model.simulate(5000, rng)
+        result = runs_test(trace_from_losses(pattern.tolist()))
+        assert not result.looks_random(alpha=0.001)
+        assert result.z < 0  # fewer runs than expected under independence
+
+    def test_requires_both_outcomes(self):
+        with pytest.raises(InsufficientDataError):
+            runs_test(trace_from_losses([0, 0, 0]))
+        with pytest.raises(InsufficientDataError):
+            runs_test(trace_from_losses([1, 1, 1]))
+
+
+@settings(max_examples=100, deadline=None)
+@given(pattern=st.lists(st.integers(0, 1), min_size=2, max_size=200))
+def test_loss_stats_invariants(pattern):
+    """ulp, clp in [0,1]; plg >= 1; counts consistent."""
+    trace = trace_from_losses(pattern)
+    stats = loss_stats(trace)
+    assert 0.0 <= stats.ulp <= 1.0
+    assert 0.0 <= stats.clp <= 1.0
+    assert stats.plg >= 1.0
+    assert stats.losses == sum(pattern)
+    assert sum(loss_runs(trace)) == sum(pattern)
+
+
+class TestOnRealSimulation:
+    def test_loaded_path_loss_in_paper_range(self, loaded_trace):
+        stats = loss_stats(loaded_trace)
+        assert 0.03 <= stats.ulp <= 0.25
+        assert stats.clp >= stats.ulp  # positive correlation at delta=50ms

@@ -1,0 +1,118 @@
+"""Tests for campaign statistics (intervals, replication)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.stats import (
+    mean_interval,
+    replicate,
+    wilson_interval,
+)
+from repro.errors import AnalysisError, InsufficientDataError
+
+
+class TestWilson:
+    def test_contains_true_proportion_typically(self, rng):
+        # Coverage check: ~95% of intervals should contain p.
+        p = 0.1
+        hits = 0
+        for _ in range(300):
+            k = rng.binomial(500, p)
+            if wilson_interval(int(k), 500).contains(p):
+                hits += 1
+        assert hits >= 270  # ≥90% observed coverage at nominal 95%
+
+    def test_zero_successes(self):
+        interval = wilson_interval(0, 100)
+        assert interval.estimate == 0.0
+        assert interval.low == 0.0
+        assert interval.high > 0.0
+
+    def test_all_successes(self):
+        interval = wilson_interval(100, 100)
+        assert interval.high == 1.0
+        assert interval.low < 1.0
+
+    def test_narrows_with_more_trials(self):
+        small = wilson_interval(10, 100)
+        large = wilson_interval(100, 1000)
+        assert large.width < small.width
+
+    def test_confidence_affects_width(self):
+        loose = wilson_interval(10, 100, confidence=0.8)
+        tight = wilson_interval(10, 100, confidence=0.99)
+        assert tight.width > loose.width
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            wilson_interval(1, 0)
+        with pytest.raises(AnalysisError):
+            wilson_interval(5, 4)
+        with pytest.raises(AnalysisError):
+            wilson_interval(1, 10, confidence=1.0)
+
+    def test_str(self):
+        assert "@95%" in str(wilson_interval(10, 100))
+
+
+class TestMeanInterval:
+    def test_contains_sample_mean(self):
+        interval = mean_interval([1.0, 2.0, 3.0, 4.0])
+        assert interval.contains(2.5)
+        assert interval.estimate == pytest.approx(2.5)
+
+    def test_constant_samples_zero_width(self):
+        interval = mean_interval([3.0, 3.0, 3.0])
+        assert interval.width == 0.0
+
+    def test_validation(self):
+        with pytest.raises(InsufficientDataError):
+            mean_interval([1.0])
+        with pytest.raises(AnalysisError):
+            mean_interval([1.0, 2.0], confidence=0.0)
+
+
+@settings(max_examples=80, deadline=None)
+@given(successes=st.integers(0, 100))
+def test_wilson_bounds_property(successes):
+    """Interval always within [0, 1] and straddles the point estimate."""
+    interval = wilson_interval(successes, 100)
+    assert 0.0 <= interval.low <= interval.estimate <= interval.high <= 1.0
+
+
+class TestReplicate:
+    def test_collects_per_seed_metrics(self):
+        summary = replicate(lambda seed: {"x": float(seed), "y": 1.0},
+                            seeds=[1, 2, 3])
+        assert summary.values["x"] == [1.0, 2.0, 3.0]
+        assert summary.values["y"] == [1.0, 1.0, 1.0]
+        assert summary.seeds == [1, 2, 3]
+
+    def test_interval_over_metric(self):
+        summary = replicate(lambda seed: {"x": float(seed)},
+                            seeds=[1, 2, 3, 4])
+        interval = summary.interval("x")
+        assert interval.estimate == pytest.approx(2.5)
+
+    def test_unknown_metric(self):
+        summary = replicate(lambda seed: {"x": 1.0}, seeds=[1])
+        with pytest.raises(AnalysisError):
+            summary.interval("ghost")
+
+    def test_inconsistent_keys_rejected(self):
+        def flaky(seed):
+            return {"x": 1.0} if seed == 1 else {"y": 1.0}
+
+        with pytest.raises(AnalysisError):
+            replicate(flaky, seeds=[1, 2])
+
+    def test_no_seeds_rejected(self):
+        with pytest.raises(AnalysisError):
+            replicate(lambda seed: {"x": 1.0}, seeds=[])
+
+    def test_table_renders(self):
+        summary = replicate(lambda seed: {"ulp": 0.1 * seed}, seeds=[1, 2])
+        assert "ulp" in summary.table()
+        assert "n=2" in summary.table()

@@ -1,0 +1,165 @@
+"""Tests for time-series statistics on delay traces."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.timeseries import (
+    autocorrelation,
+    delay_change_rate,
+    moving_average,
+    periodic_spike_period,
+    periodogram,
+    spike_clusters,
+    summarize,
+)
+from repro.errors import AnalysisError, InsufficientDataError
+from repro.netdyn.trace import ProbeTrace
+
+
+def trace_of(rtts, delta=0.05):
+    return ProbeTrace.from_samples(delta=delta, rtts=rtts)
+
+
+class TestSummarize:
+    def test_basic_statistics(self):
+        summary = summarize(trace_of([0.1, 0.2, 0.3, 0.0]))
+        assert summary.count == 3
+        assert summary.mean == pytest.approx(0.2)
+        assert summary.minimum == pytest.approx(0.1)
+        assert summary.maximum == pytest.approx(0.3)
+        assert summary.median == pytest.approx(0.2)
+
+    def test_percentiles_ordered(self):
+        rng = np.random.default_rng(3)
+        summary = summarize(trace_of((0.1 + rng.random(500) * 0.2).tolist()))
+        assert summary.minimum <= summary.median <= summary.p90 \
+            <= summary.p99 <= summary.maximum
+
+    def test_empty_raises(self):
+        with pytest.raises(InsufficientDataError):
+            summarize(trace_of([0.0, 0.0]))
+
+    def test_single_sample_std(self):
+        assert summarize(trace_of([0.1])).std == 0.0
+
+
+class TestAutocorrelation:
+    def test_lag_zero_is_one(self):
+        rng = np.random.default_rng(4)
+        trace = trace_of((0.1 + rng.random(200) * 0.1).tolist())
+        acf = autocorrelation(trace, max_lag=5)
+        assert acf[0] == pytest.approx(1.0)
+
+    def test_periodic_series_has_periodic_acf(self):
+        rtts = [0.1 + 0.05 * (i % 10 == 0) for i in range(400)]
+        acf = autocorrelation(trace_of(rtts), max_lag=20)
+        assert acf[10] > acf[5]
+        assert acf[20] > acf[15]
+
+    def test_white_noise_acf_small(self):
+        rng = np.random.default_rng(5)
+        trace = trace_of((0.1 + rng.random(2000) * 0.01).tolist())
+        acf = autocorrelation(trace, max_lag=10)
+        assert np.all(np.abs(acf[1:]) < 0.1)
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            autocorrelation(trace_of([0.1] * 50), max_lag=0)
+        with pytest.raises(InsufficientDataError):
+            autocorrelation(trace_of([0.1] * 5), max_lag=10)
+        with pytest.raises(InsufficientDataError):
+            autocorrelation(trace_of([0.1] * 50), max_lag=5)  # constant
+
+    def test_too_many_losses_rejected(self):
+        rtts = [0.1, 0.0] * 50  # 50% losses
+        with pytest.raises(InsufficientDataError):
+            autocorrelation(trace_of(rtts + [0.0]), max_lag=5)
+
+
+class TestMovingAverage:
+    def test_window_one_is_identity(self):
+        rtts = [0.1, 0.2, 0.3]
+        assert moving_average(trace_of(rtts), window=1).tolist() == \
+            pytest.approx(rtts)
+
+    def test_smooths_spikes(self):
+        rtts = [0.1] * 10 + [1.0] + [0.1] * 10
+        smoothed = moving_average(trace_of(rtts), window=5)
+        assert smoothed.max() < 1.0
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            moving_average(trace_of([0.1] * 10), window=0)
+
+
+class TestPeriodogram:
+    def test_detects_injected_period(self):
+        # 2-second period sampled at delta = 0.1 s.
+        n, delta, period = 1000, 0.1, 2.0
+        t = np.arange(n) * delta
+        rtts = 0.15 + 0.05 * np.sin(2 * np.pi * t / period)
+        spectrum = periodogram(trace_of(rtts.tolist(), delta=delta))
+        assert spectrum.dominant_period() == pytest.approx(period, rel=0.05)
+
+    def test_interpolates_occasional_losses(self):
+        n, delta, period = 1000, 0.1, 2.0
+        t = np.arange(n) * delta
+        rtts = 0.15 + 0.05 * np.sin(2 * np.pi * t / period)
+        rtts[::17] = 0.0  # ~6% losses
+        spectrum = periodogram(trace_of(rtts.tolist(), delta=delta))
+        assert spectrum.dominant_period() == pytest.approx(period, rel=0.05)
+
+
+class TestSpikes:
+    def test_cluster_extraction(self):
+        rtts = [0.1] * 100
+        for start in (10, 50, 90):
+            for i in range(3):
+                rtts[start + i] = 2.0
+        trace = trace_of(rtts, delta=1.0)
+        clusters = spike_clusters(trace, threshold=1.0, guard=5.0)
+        assert clusters.tolist() == [10.0, 50.0, 90.0]
+
+    def test_periodic_spike_period(self):
+        rtts = [0.1] * 100
+        for start in (10, 50, 90):
+            rtts[start] = 2.0
+        trace = trace_of(rtts, delta=1.0)
+        assert periodic_spike_period(trace, threshold=1.0) == \
+            pytest.approx(40.0)
+
+    def test_no_spikes(self):
+        trace = trace_of([0.1] * 10)
+        assert len(spike_clusters(trace, threshold=1.0)) == 0
+        with pytest.raises(InsufficientDataError):
+            periodic_spike_period(trace, threshold=1.0)
+
+    def test_guard_validation(self):
+        with pytest.raises(AnalysisError):
+            spike_clusters(trace_of([0.1]), threshold=1.0, guard=0.0)
+
+
+class TestChangeRate:
+    def test_stable_series(self):
+        assert delay_change_rate(trace_of([0.1] * 20),
+                                 threshold=0.01) == 0.0
+
+    def test_volatile_series(self):
+        rtts = [0.1, 0.3] * 20
+        assert delay_change_rate(trace_of(rtts), threshold=0.1) == 1.0
+
+    def test_no_pairs(self):
+        with pytest.raises(InsufficientDataError):
+            delay_change_rate(trace_of([0.1, 0.0, 0.1]), threshold=0.01)
+
+
+class TestOnRealSimulation:
+    def test_loaded_trace_summary_sane(self, loaded_trace):
+        summary = summarize(loaded_trace)
+        assert 0.13 <= summary.minimum <= 0.16
+        assert summary.mean < 0.6
+        assert summary.maximum < 1.5
+
+    def test_queueing_delays_positively_correlated(self, loaded_trace):
+        acf = autocorrelation(loaded_trace, max_lag=3)
+        assert acf[1] > 0.3  # consecutive probes see similar queues

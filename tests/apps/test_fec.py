@@ -1,0 +1,120 @@
+"""Tests for the loss-repair schemes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.fec import (
+    evaluate_repair,
+    interleaved_xor_fec,
+    repeat_last,
+    xor_fec,
+)
+from repro.errors import ConfigurationError
+from repro.netdyn.trace import ProbeTrace
+
+
+class TestRepeatLast:
+    def test_isolated_losses_fully_repaired(self):
+        assert repeat_last([0, 1, 0, 0, 1, 0]) == 0.0
+
+    def test_consecutive_losses_leak(self):
+        # Positions 2 and 3 lost: packet 3 unrecoverable.
+        assert repeat_last([0, 0, 1, 1, 0, 0]) == pytest.approx(1 / 6)
+
+    def test_first_packet_loss_unrecoverable(self):
+        assert repeat_last([1, 0, 0, 0]) == pytest.approx(0.25)
+
+    def test_no_losses(self):
+        assert repeat_last([0] * 10) == 0.0
+
+    def test_all_lost(self):
+        assert repeat_last([1] * 4) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            repeat_last([])
+
+
+class TestXorFec:
+    def test_single_loss_per_group_repaired(self):
+        # Groups of 4, one loss in each: parity (assumed delivered when
+        # the shifted indicator is 0) repairs them.
+        lost = [0, 1, 0, 0, 0, 0, 1, 0]
+        assert xor_fec(lost, group=4,
+                       parity_lost=[0, 0]) == 0.0
+
+    def test_double_loss_per_group_unrepairable(self):
+        lost = [1, 1, 0, 0]
+        assert xor_fec(lost, group=4, parity_lost=[0]) == pytest.approx(0.5)
+
+    def test_lost_parity_defeats_repair(self):
+        lost = [0, 1, 0, 0]
+        assert xor_fec(lost, group=4, parity_lost=[1]) == pytest.approx(0.25)
+
+    def test_trailing_partial_group_ignored(self):
+        lost = [0, 1, 0, 0] + [1]  # the final packet falls outside a group
+        value = xor_fec(lost, group=4, parity_lost=[0])
+        assert value == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            xor_fec([0, 1], group=1)
+        with pytest.raises(ConfigurationError):
+            xor_fec([0, 1], group=4)  # shorter than one group
+        with pytest.raises(ConfigurationError):
+            xor_fec([0, 1, 0, 0], group=4, parity_lost=[])
+
+
+class TestInterleaving:
+    def test_burst_spread_across_lanes(self):
+        # A burst of 3 consecutive losses with depth 3 puts one loss per
+        # lane; each lane's group has a single loss -> fully repaired.
+        lost = [0] * 9 + [1, 1, 1] + [0] * 12
+        residual = interleaved_xor_fec(lost, group=4, depth=3)
+        plain = xor_fec(lost[:24], group=4, parity_lost=[0] * 6)
+        assert residual == 0.0
+        assert plain > 0.0  # the same burst defeats non-interleaved FEC
+
+    def test_depth_one_equals_plain_fec(self):
+        rng = np.random.default_rng(0)
+        lost = (rng.random(80) < 0.2).astype(int).tolist()
+        assert interleaved_xor_fec(lost, group=4, depth=1) == \
+            pytest.approx(xor_fec(lost, group=4))
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            interleaved_xor_fec([0, 1], group=2, depth=0)
+        with pytest.raises(ConfigurationError):
+            interleaved_xor_fec([0], group=2, depth=2)
+
+
+class TestEvaluateRepair:
+    def test_report_fields(self):
+        rng = np.random.default_rng(1)
+        rtts = np.where(rng.random(400) < 0.1, 0.0, 0.2)
+        trace = ProbeTrace.from_samples(delta=0.05, rtts=rtts.tolist())
+        report = evaluate_repair(trace, group=4, depth=4)
+        assert report.raw_loss == pytest.approx(trace.loss_fraction)
+        assert 0.0 <= report.repeat_last <= report.raw_loss
+        assert 0.0 <= report.xor_fec <= 1.0
+        assert report.best_scheme()
+
+    def test_isolated_losses_make_open_loop_effective(self):
+        """The paper's conclusion: plg ~ 1 means FEC/repetition work."""
+        lost = ([0] * 9 + [1]) * 40  # exactly isolated 10% loss
+        rtts = [0.0 if flag else 0.2 for flag in lost]
+        trace = ProbeTrace.from_samples(delta=0.05, rtts=rtts)
+        report = evaluate_repair(trace)
+        assert report.raw_loss == pytest.approx(0.1)
+        assert report.repeat_last == 0.0
+
+
+@settings(max_examples=100, deadline=None)
+@given(lost=st.lists(st.integers(0, 1), min_size=16, max_size=200))
+def test_repair_never_increases_loss(lost):
+    """Every scheme's residual is within [0, raw loss]."""
+    raw = float(np.mean(lost))
+    assert 0.0 <= repeat_last(lost) <= raw + 1e-12
+    assert 0.0 <= interleaved_xor_fec(lost, group=4, depth=2) <= 1.0

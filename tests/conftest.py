@@ -1,0 +1,65 @@
+"""Shared fixtures.
+
+Expensive calibrated-scenario traces are session-scoped: several analysis
+test modules reuse the same measurement rather than re-simulating.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.netdyn.session import run_probe_experiment
+from repro.netdyn.trace import ProbeTrace
+from repro.sim import Simulator
+from repro.topology.inria_umd import build_inria_umd
+from repro.topology.presets import build_single_bottleneck
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    """A fresh simulator with a fixed seed."""
+    return Simulator(seed=42)
+
+
+@pytest.fixture(scope="session")
+def idle_trace() -> ProbeTrace:
+    """Probes over the INRIA-UMd path with no cross traffic or faults."""
+    scenario = build_inria_umd(seed=5, utilization_fwd=0.0,
+                               utilization_rev=0.0, fault_drop_prob=0.0)
+    return run_probe_experiment(scenario.network, scenario.source,
+                                scenario.echo, delta=0.05, count=400)
+
+
+@pytest.fixture(scope="session")
+def loaded_trace() -> ProbeTrace:
+    """Probes at δ=50 ms over the calibrated INRIA-UMd path (with load)."""
+    scenario = build_inria_umd(seed=5)
+    scenario.start_traffic()
+    return run_probe_experiment(scenario.network, scenario.source,
+                                scenario.echo, delta=0.05, count=2400,
+                                start_at=30.0)
+
+
+@pytest.fixture(scope="session")
+def loaded_trace_20ms() -> ProbeTrace:
+    """Probes at δ=20 ms over the calibrated INRIA-UMd path."""
+    scenario = build_inria_umd(seed=6)
+    scenario.start_traffic()
+    return run_probe_experiment(scenario.network, scenario.source,
+                                scenario.echo, delta=0.02, count=6000,
+                                start_at=30.0)
+
+
+@pytest.fixture(scope="session")
+def bottleneck_scenario_factory():
+    """Factory for small single-bottleneck networks (fast to simulate)."""
+    def make(**kwargs):
+        return build_single_bottleneck(**kwargs)
+    return make
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A seeded numpy generator for test-local randomness."""
+    return np.random.default_rng(1234)

@@ -1,0 +1,17 @@
+"""The calibration targets of DESIGN.md, checked executably."""
+
+from repro.experiments.calibration import validate_calibration
+
+
+def test_calibration_targets_hold():
+    result = validate_calibration(seed=1, duration=90.0)
+    assert result.all_ok, f"\n{result.summary()}"
+
+
+def test_calibration_report_structure():
+    result = validate_calibration(seed=2, duration=60.0)
+    names = [row.name for row in result.rows]
+    assert "fixed round trip D" in names
+    assert "bottleneck rate" in names
+    assert any("fault" in n for n in names)
+    assert any("utilization" in n for n in names)

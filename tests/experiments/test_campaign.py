@@ -1,0 +1,72 @@
+"""Tests for measurement campaigns."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.campaign import (
+    CampaignSpec,
+    load_campaign_traces,
+    run_campaign,
+)
+
+
+def small_spec(**kwargs):
+    defaults = dict(deltas=(0.1,), seeds=(1,), duration=10.0,
+                    scenario_kwargs={"utilization_fwd": 0.3,
+                                     "utilization_rev": 0.3})
+    defaults.update(kwargs)
+    return CampaignSpec(**defaults)
+
+
+class TestCampaignSpec:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CampaignSpec(deltas=(), seeds=(1,))
+        with pytest.raises(ConfigurationError):
+            CampaignSpec(deltas=(0.1,), seeds=())
+        with pytest.raises(ConfigurationError):
+            CampaignSpec(deltas=(0.1,), seeds=(1,), duration=0.0)
+
+
+class TestRunCampaign:
+    def test_grid_coverage(self):
+        spec = small_spec(deltas=(0.1, 0.2), seeds=(1, 2))
+        result = run_campaign(spec)
+        assert set(result.traces) == {(0.1, 1), (0.1, 2),
+                                      (0.2, 1), (0.2, 2)}
+        assert set(result.summaries) == {0.1, 0.2}
+
+    def test_metrics_collected_per_delta(self):
+        spec = small_spec(seeds=(1, 2, 3))
+        result = run_campaign(spec)
+        summary = result.summaries[0.1]
+        assert len(summary.values["ulp"]) == 3
+        assert "mean_rtt" in summary.values
+
+    def test_traces_saved_and_reloadable(self, tmp_path):
+        spec = small_spec(deltas=(0.1, 0.2), seeds=(1,),
+                          output_dir=tmp_path)
+        result = run_campaign(spec)
+        loaded = load_campaign_traces(tmp_path)
+        assert len(loaded) == 2
+        deltas = sorted(trace.delta for trace in loaded)
+        assert deltas == pytest.approx([0.1, 0.2])
+
+    def test_table_renders(self):
+        spec = small_spec(seeds=(1, 2))
+        result = run_campaign(spec)
+        table = result.table()
+        assert "100ms" in table
+        assert "±" in table  # cross-seed spread shown
+
+    def test_single_seed_table(self):
+        result = run_campaign(small_spec())
+        assert "±" not in result.table()
+
+    def test_umd_pitt_campaign(self):
+        spec = CampaignSpec(deltas=(0.05,), seeds=(1,), duration=5.0,
+                            scenario="umd-pitt",
+                            scenario_kwargs={"utilization_fwd": 0.2,
+                                             "utilization_rev": 0.2})
+        result = run_campaign(spec)
+        assert (0.05, 1) in result.traces

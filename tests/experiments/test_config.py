@@ -1,0 +1,55 @@
+"""Tests for experiment configuration."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.config import (
+    ExperimentConfig,
+    PAPER_DELTAS,
+    PAPER_DURATION,
+    default_duration,
+    full_experiments,
+)
+
+
+class TestExperimentConfig:
+    def test_count_from_duration(self):
+        config = ExperimentConfig(delta=0.05, duration=10.0)
+        assert config.count == 200
+
+    def test_count_at_least_one(self):
+        config = ExperimentConfig(delta=10.0, duration=1.0)
+        assert config.count == 1
+
+    def test_paper_constants(self):
+        assert PAPER_DELTAS == (0.008, 0.020, 0.050, 0.100, 0.200, 0.500)
+        assert PAPER_DURATION == 600.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(delta=0.0)
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(delta=0.05, duration=0.0)
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(delta=0.05, warmup=-1.0)
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(delta=0.05, scenario="mars-net")
+
+    def test_scenario_kwargs_default_empty(self):
+        assert ExperimentConfig(delta=0.05).scenario_kwargs == {}
+
+
+class TestEnvironmentSwitch:
+    def test_default_duration_scaled(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FULL_EXPERIMENTS", raising=False)
+        assert not full_experiments()
+        assert default_duration(120.0) == 120.0
+
+    def test_full_experiments_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FULL_EXPERIMENTS", "1")
+        assert full_experiments()
+        assert default_duration(120.0) == PAPER_DURATION
+
+    def test_zero_means_disabled(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FULL_EXPERIMENTS", "0")
+        assert not full_experiments()

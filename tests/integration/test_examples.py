@@ -1,0 +1,45 @@
+"""Smoke tests: every example script runs to completion.
+
+The examples are part of the public deliverable; these tests execute each
+one in a subprocess and check for the output lines a reader relies on, so
+API drift cannot silently break them.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+#: script name -> (args, substring the output must contain)
+EXPECTATIONS = {
+    "quickstart.py": ([], "Phase plot"),
+    "bottleneck_estimation.py": ([], "actual 128 kb/s"),
+    "audio_fec.py": ([], "repeat-last"),
+    "network_debugging.py": ([], "FOUND"),
+    "ack_compression.py": ([], "compressed"),
+    "nsfnet_survey.py": ([], "gamma shape"),
+    "queue_dynamics.py": ([], "queue occupancy"),
+    "live_probe.py": (["--count", "50", "--delta-ms", "5"], "loss: ulp"),
+}
+
+
+def run_example(name, args):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name), *args],
+        capture_output=True, text=True, timeout=600)
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTATIONS))
+def test_example_runs(name):
+    args, expected = EXPECTATIONS[name]
+    completed = run_example(name, args)
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    assert expected in completed.stdout
+
+
+def test_every_example_has_a_smoke_test():
+    scripts = {path.name for path in EXAMPLES_DIR.glob("*.py")}
+    assert scripts == set(EXPECTATIONS)

@@ -1,0 +1,88 @@
+"""Unit tests for host clock models."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net.clocks import (
+    DECSTATION_RESOLUTION,
+    PerfectClock,
+    QuantizedClock,
+    SkewedClock,
+)
+from repro.sim import Simulator
+
+
+class TestPerfectClock:
+    def test_tracks_sim_time(self, sim):
+        clock = PerfectClock(sim)
+        sim.run(until=1.234)
+        assert clock.now() == pytest.approx(1.234)
+
+    def test_zero_resolution(self, sim):
+        assert PerfectClock(sim).resolution == 0.0
+
+
+class TestQuantizedClock:
+    def test_floors_to_tick(self, sim):
+        clock = QuantizedClock(sim, resolution=0.004)
+        sim.run(until=0.0105)
+        assert clock.now() == pytest.approx(0.008)
+
+    def test_decstation_resolution(self, sim):
+        clock = QuantizedClock(sim, resolution=DECSTATION_RESOLUTION)
+        sim.run(until=0.0100)
+        # floor(0.0100 / 0.003906) = 2 ticks.
+        assert clock.now() == pytest.approx(2 * DECSTATION_RESOLUTION)
+
+    def test_readings_on_lattice(self, sim):
+        clock = QuantizedClock(sim, resolution=0.003)
+        for target in (0.001, 0.0142, 0.0299, 1.0001):
+            sim.run(until=target)
+            reading = clock.now()
+            assert reading == pytest.approx(
+                int(reading / 0.003 + 0.5 * 1e-9) * 0.003)
+
+    def test_monotone(self, sim):
+        clock = QuantizedClock(sim, resolution=0.01)
+        previous = clock.now()
+        for target in (0.004, 0.011, 0.02, 0.5):
+            sim.run(until=target)
+            assert clock.now() >= previous
+            previous = clock.now()
+
+    def test_validation(self, sim):
+        with pytest.raises(ConfigurationError):
+            QuantizedClock(sim, resolution=0.0)
+
+
+class TestSkewedClock:
+    def test_offset(self, sim):
+        clock = SkewedClock(sim, offset=100.0)
+        sim.run(until=2.0)
+        assert clock.now() == pytest.approx(102.0)
+
+    def test_skew(self, sim):
+        clock = SkewedClock(sim, skew=0.01)
+        sim.run(until=100.0)
+        assert clock.now() == pytest.approx(101.0)
+
+    def test_rtt_immune_to_offset_one_way_is_not(self, sim):
+        """Why the paper sources and sinks probes on the same host."""
+        local = SkewedClock(sim, offset=0.0)
+        remote = SkewedClock(sim, offset=5.0)
+        send_time = local.now()
+        sim.run(until=0.1)  # one-way trip
+        one_way = remote.now() - send_time  # wrong: offset pollutes it
+        sim.run(until=0.2)  # return trip
+        rtt = local.now() - send_time  # right: same clock both ends
+        assert one_way == pytest.approx(5.1)
+        assert rtt == pytest.approx(0.2)
+
+    def test_quantized_skewed(self, sim):
+        clock = SkewedClock(sim, offset=0.0005, resolution=0.001)
+        sim.run(until=0.0012)
+        assert clock.now() == pytest.approx(0.001)
+
+    def test_negative_resolution_rejected(self, sim):
+        with pytest.raises(ConfigurationError):
+            SkewedClock(sim, resolution=-1.0)

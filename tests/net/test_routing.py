@@ -1,0 +1,106 @@
+"""Unit tests for the Network container and static routing."""
+
+import pytest
+
+from repro.errors import AddressError, ConfigurationError, RoutingError
+from repro.net.routing import Network
+from repro.sim import Simulator
+from repro.units import mbps, ms
+
+
+def diamond(sim):
+    """a - (b | c) - d with a shorter delay through b."""
+    network = Network(sim)
+    for name in ("a", "d"):
+        network.add_host(name)
+    for name in ("b", "c"):
+        network.add_router(name)
+    network.link("a", "b", rate_bps=mbps(10), prop_delay=ms(1))
+    network.link("b", "d", rate_bps=mbps(10), prop_delay=ms(1))
+    network.link("a", "c", rate_bps=mbps(10), prop_delay=ms(10))
+    network.link("c", "d", rate_bps=mbps(10), prop_delay=ms(10))
+    network.compute_routes()
+    return network
+
+
+class TestBuilding:
+    def test_duplicate_name_rejected(self, sim):
+        network = Network(sim)
+        network.add_host("x")
+        with pytest.raises(ConfigurationError):
+            network.add_router("x")
+
+    def test_unknown_node_lookup(self, sim):
+        with pytest.raises(AddressError):
+            Network(sim).node("ghost")
+
+    def test_host_lookup_rejects_router(self, sim):
+        network = Network(sim)
+        network.add_router("r")
+        with pytest.raises(AddressError):
+            network.host("r")
+
+    def test_asymmetric_link_parameters(self, sim):
+        network = Network(sim)
+        network.add_host("a")
+        network.add_host("b")
+        ab, ba = network.link("a", "b", rate_bps=1000.0, prop_delay=0.1,
+                              rate_bps_ba=2000.0, prop_delay_ba=0.2)
+        assert ab.rate_bps == 1000.0
+        assert ba.rate_bps == 2000.0
+        assert ba.prop_delay == 0.2
+
+    def test_interface_lookup(self, sim):
+        network = diamond(sim)
+        iface = network.interface("a", "b")
+        assert iface.node.name == "a"
+        assert iface.peer.name == "b"
+
+
+class TestRouting:
+    def test_shortest_delay_path_chosen(self, sim):
+        network = diamond(sim)
+        assert network.path("a", "d") == ["a", "b", "d"]
+
+    def test_routes_are_symmetric_here(self, sim):
+        network = diamond(sim)
+        assert network.path("d", "a") == ["d", "b", "a"]
+
+    def test_path_unknown_node(self, sim):
+        network = diamond(sim)
+        with pytest.raises(AddressError):
+            network.path("a", "ghost")
+
+    def test_path_no_route(self, sim):
+        network = Network(sim)
+        network.add_host("a")
+        network.add_host("b")  # never linked
+        network.compute_routes()
+        with pytest.raises(RoutingError):
+            network.path("a", "b")
+
+    def test_route_recomputation_after_new_link(self, sim):
+        network = diamond(sim)
+        network.add_host("e")
+        network.link("e", "d", rate_bps=mbps(10), prop_delay=ms(1))
+        network.compute_routes()
+        assert network.path("a", "e") == ["a", "b", "d", "e"]
+
+    def test_loop_detection(self, sim):
+        network = diamond(sim)
+        # Create an artificial loop b -> a -> b for destination d.
+        network.node("b").set_next_hop("d", "a")
+        network.node("a").set_next_hop("d", "b")
+        with pytest.raises(RoutingError):
+            network.path("a", "d")
+
+    def test_graph_has_all_edges(self, sim):
+        network = diamond(sim)
+        graph = network.graph()
+        assert graph.number_of_nodes() == 4
+        assert graph.number_of_edges() == 8  # 4 links, both directions
+
+    def test_repr(self, sim):
+        network = diamond(sim)
+        assert "4 nodes" in repr(network)
+        assert "4 links" in repr(network)

@@ -1,0 +1,113 @@
+"""Tests for one-way measurements and the clock-synchronization problem."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net.clocks import SkewedClock
+from repro.net.routing import Network
+from repro.netdyn.oneway import run_one_way_experiment
+from repro.netdyn.session import run_probe_experiment
+from repro.sim import Simulator
+from repro.units import kbps, mbps, ms
+
+
+def three_hosts(sim):
+    """src -- echo -- dst, so forwarded probes travel a real second leg."""
+    network = Network(sim)
+    for name in ("src", "echo", "dst"):
+        network.add_host(name)
+    network.link("src", "echo", rate_bps=mbps(1), prop_delay=ms(10))
+    network.link("echo", "dst", rate_bps=mbps(1), prop_delay=ms(15))
+    network.compute_routes()
+    return network
+
+
+class TestOneWay:
+    def test_synchronized_clocks_measure_true_delay(self):
+        sim = Simulator(seed=1)
+        network = three_hosts(sim)
+        trace = run_one_way_experiment(network, "src", "echo", "dst",
+                                       delta=0.05, count=50)
+        assert trace.loss_fraction == 0.0
+        assert trace.meta["one_way"] is True
+        # 25 ms propagation plus two serializations of ~0.6 ms.
+        assert 0.025 <= trace.min_rtt() <= 0.03
+
+    def test_constant_offset_pollutes_levels_not_differences(self):
+        """Why the paper sources and sinks on the same host: absolute
+        one-way delays absorb the clock offset, but the differences that
+        feed equation (6) cancel it exactly."""
+        offset = 7.0  # destination clock is 7 s ahead
+
+        def measure(with_offset):
+            sim = Simulator(seed=1)
+            network = three_hosts(sim)
+            if with_offset:
+                network.host("dst").clock = SkewedClock(sim, offset=offset)
+            return run_one_way_experiment(network, "src", "echo", "dst",
+                                          delta=0.05, count=50)
+
+        honest = measure(False)
+        skewed = measure(True)
+        # Levels differ by the offset (modulo the nonnegativity shift).
+        shift = skewed.meta.get("offset_shift", 0.0)
+        assert (skewed.rtts[0] - shift) - honest.rtts[0] == \
+            pytest.approx(offset, abs=1e-6)
+        # Differences are identical.
+        assert np.allclose(np.diff(skewed.rtts), np.diff(honest.rtts),
+                           atol=1e-9)
+
+    def test_negative_readings_shifted_with_record(self):
+        sim = Simulator(seed=1)
+        network = three_hosts(sim)
+        network.host("dst").clock = SkewedClock(sim, offset=-3.0)
+        trace = run_one_way_experiment(network, "src", "echo", "dst",
+                                       delta=0.05, count=20)
+        assert "offset_shift" in trace.meta
+        assert np.all(trace.rtts[trace.received] >= 0)
+
+    def test_drift_corrupts_even_differences(self):
+        """Clock skew (frequency error) biases consecutive differences —
+        the failure mode even differencing cannot fix."""
+        sim = Simulator(seed=1)
+        network = three_hosts(sim)
+        network.host("dst").clock = SkewedClock(sim, skew=0.01)
+        drifted = run_one_way_experiment(network, "src", "echo", "dst",
+                                         delta=0.05, count=50)
+        # Idle network: true delay constant, so differences should be ~0;
+        # with 1% skew each 50 ms interval adds ~0.5 ms of phantom delay.
+        gaps = np.diff(drifted.rtts)
+        assert np.median(gaps) == pytest.approx(0.0005, rel=0.05)
+
+    def test_losses_marked(self):
+        from repro.net.faults import RandomDropFault
+        sim = Simulator(seed=1)
+        network = three_hosts(sim)
+        network.interface("echo", "dst").add_egress_fault(
+            RandomDropFault(1.0, sim.streams.get("kill")))
+        trace = run_one_way_experiment(network, "src", "echo", "dst",
+                                       delta=0.05, count=20)
+        assert trace.loss_fraction == 1.0
+
+    def test_round_trip_configuration_rejected(self):
+        sim = Simulator(seed=1)
+        network = three_hosts(sim)
+        with pytest.raises(ConfigurationError):
+            run_one_way_experiment(network, "src", "echo", "src",
+                                   delta=0.05, count=10)
+
+    def test_matches_round_trip_when_clocks_perfect(self):
+        """Sanity: one-way src->echo->dst plus dst->echo->src legs should
+        bracket the round-trip measurement on an idle network."""
+        sim = Simulator(seed=1)
+        network = three_hosts(sim)
+        one_way = run_one_way_experiment(network, "src", "echo", "dst",
+                                         delta=0.05, count=20)
+        sim2 = Simulator(seed=1)
+        network2 = three_hosts(sim2)
+        round_trip = run_probe_experiment(network2, "src", "echo",
+                                          delta=0.05, count=20)
+        # src->echo->src covers the src-echo link twice; the one-way path
+        # covers src-echo plus echo-dst.  Both share the src-echo leg.
+        assert one_way.min_rtt() > 0.5 * round_trip.min_rtt()

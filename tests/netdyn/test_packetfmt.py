@@ -1,0 +1,109 @@
+"""Unit and property tests for the NetDyn probe wire format."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PacketFormatError
+from repro.netdyn import packetfmt
+
+
+class TestEncodeDecode:
+    def test_roundtrip_all_fields(self):
+        payload = packetfmt.encode_probe(42, source_time=1.5, echo_time=2.25,
+                                         destination_time=3.125)
+        header = packetfmt.decode_probe(payload)
+        assert header.seq == 42
+        assert header.source_time == pytest.approx(1.5)
+        assert header.echo_time == pytest.approx(2.25)
+        assert header.destination_time == pytest.approx(3.125)
+
+    def test_unset_timestamps_decode_to_none(self):
+        payload = packetfmt.encode_probe(1, source_time=0.5)
+        header = packetfmt.decode_probe(payload)
+        assert header.echo_time is None
+        assert header.destination_time is None
+
+    def test_payload_length(self):
+        assert len(packetfmt.encode_probe(0)) == \
+            packetfmt.PROBE_PAYLOAD_BYTES
+        assert len(packetfmt.encode_probe(0, payload_bytes=100)) == 100
+
+    def test_microsecond_resolution(self):
+        payload = packetfmt.encode_probe(0, source_time=0.123456789)
+        header = packetfmt.decode_probe(payload)
+        assert header.source_time == pytest.approx(0.123457, abs=1e-6)
+
+    def test_zero_timestamp_valid(self):
+        header = packetfmt.decode_probe(
+            packetfmt.encode_probe(0, source_time=0.0))
+        assert header.source_time == 0.0
+
+
+class TestStamping:
+    def test_stamp_echo_preserves_others(self):
+        payload = packetfmt.encode_probe(9, source_time=1.0)
+        stamped = packetfmt.stamp_echo_time(payload, 2.0)
+        header = packetfmt.decode_probe(stamped)
+        assert header.seq == 9
+        assert header.source_time == pytest.approx(1.0)
+        assert header.echo_time == pytest.approx(2.0)
+        assert header.destination_time is None
+
+    def test_stamp_destination(self):
+        payload = packetfmt.encode_probe(9, source_time=1.0, echo_time=2.0)
+        stamped = packetfmt.stamp_destination_time(payload, 3.0)
+        header = packetfmt.decode_probe(stamped)
+        assert header.destination_time == pytest.approx(3.0)
+        assert header.echo_time == pytest.approx(2.0)
+
+    def test_stamp_preserves_length(self):
+        payload = packetfmt.encode_probe(1, payload_bytes=64)
+        assert len(packetfmt.stamp_echo_time(payload, 1.0)) == 64
+
+
+class TestValidation:
+    def test_payload_too_small(self):
+        with pytest.raises(PacketFormatError):
+            packetfmt.encode_probe(0, payload_bytes=10)
+
+    def test_sequence_out_of_range(self):
+        with pytest.raises(PacketFormatError):
+            packetfmt.encode_probe(-1)
+        with pytest.raises(PacketFormatError):
+            packetfmt.encode_probe(2 ** 32)
+
+    def test_negative_timestamp(self):
+        with pytest.raises(PacketFormatError):
+            packetfmt.encode_probe(0, source_time=-1.0)
+
+    def test_timestamp_overflow(self):
+        with pytest.raises(PacketFormatError):
+            packetfmt.encode_probe(0, source_time=2.0 ** 48 / 1e6)
+
+    def test_decode_short_payload(self):
+        with pytest.raises(PacketFormatError):
+            packetfmt.decode_probe(b"short")
+
+
+@settings(max_examples=200, deadline=None)
+@given(seq=st.integers(0, 2 ** 32 - 1),
+       source=st.one_of(st.none(), st.floats(0, 1e6)),
+       echo=st.one_of(st.none(), st.floats(0, 1e6)),
+       dest=st.one_of(st.none(), st.floats(0, 1e6)),
+       size=st.integers(packetfmt.MIN_PAYLOAD_BYTES, 512))
+def test_roundtrip_property(seq, source, echo, dest, size):
+    """Encode -> decode preserves all fields to microsecond precision."""
+    payload = packetfmt.encode_probe(seq, source_time=source, echo_time=echo,
+                                     destination_time=dest,
+                                     payload_bytes=size)
+    assert len(payload) == size
+    header = packetfmt.decode_probe(payload)
+    assert header.seq == seq
+    for original, decoded in ((source, header.source_time),
+                              (echo, header.echo_time),
+                              (dest, header.destination_time)):
+        if original is None:
+            assert decoded is None
+        else:
+            assert decoded == pytest.approx(original, abs=1e-6)

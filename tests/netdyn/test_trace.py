@@ -1,0 +1,128 @@
+"""Unit and property tests for ProbeTrace."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import AnalysisError, InsufficientDataError
+from repro.netdyn.trace import LOST, ProbeTrace
+
+
+def make_trace(rtts, delta=0.05, **kwargs):
+    return ProbeTrace.from_samples(delta=delta, rtts=rtts, **kwargs)
+
+
+class TestBasics:
+    def test_loss_convention(self):
+        trace = make_trace([0.1, 0.0, 0.2, None])
+        assert trace.lost.tolist() == [False, True, False, True]
+        assert trace.loss_count == 2
+        assert trace.loss_fraction == pytest.approx(0.5)
+
+    def test_valid_rtts_excludes_losses(self):
+        trace = make_trace([0.1, 0.0, 0.2])
+        assert trace.valid_rtts.tolist() == [0.1, 0.2]
+
+    def test_min_rtt(self):
+        trace = make_trace([0.3, 0.0, 0.14, 0.2])
+        assert trace.min_rtt() == pytest.approx(0.14)
+
+    def test_min_rtt_all_lost(self):
+        trace = make_trace([0.0, 0.0])
+        with pytest.raises(InsufficientDataError):
+            trace.min_rtt()
+
+    def test_queueing_delays(self):
+        trace = make_trace([0.14, 0.0, 0.24])
+        delays = trace.queueing_delays()
+        assert delays[0] == pytest.approx(0.0)
+        assert np.isnan(delays[1])
+        assert delays[2] == pytest.approx(0.1)
+
+    def test_queueing_delays_custom_base(self):
+        trace = make_trace([0.14, 0.24])
+        delays = trace.queueing_delays(base_delay=0.1)
+        assert delays[0] == pytest.approx(0.04)
+
+    def test_send_times_spaced_by_delta(self):
+        trace = make_trace([0.1] * 5, delta=0.02)
+        assert np.allclose(np.diff(trace.send_times), 0.02)
+
+    def test_slice(self):
+        trace = make_trace([0.1, 0.0, 0.2, 0.3])
+        part = trace.slice(1, 3)
+        assert len(part) == 2
+        assert part.rtts.tolist() == [0.0, 0.2]
+        assert part.delta == trace.delta
+
+    def test_len(self):
+        assert len(make_trace([0.1, 0.2])) == 2
+
+
+class TestValidation:
+    def test_negative_rtt_rejected(self):
+        with pytest.raises(AnalysisError):
+            ProbeTrace(delta=0.05, send_times=np.array([0.0]),
+                       rtts=np.array([-0.1]))
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(AnalysisError):
+            ProbeTrace(delta=0.05, send_times=np.array([0.0, 0.05]),
+                       rtts=np.array([0.1]))
+
+    def test_nonpositive_delta_rejected(self):
+        with pytest.raises(AnalysisError):
+            ProbeTrace(delta=0.0, send_times=np.array([0.0]),
+                       rtts=np.array([0.1]))
+
+
+class TestPersistence:
+    def test_csv_roundtrip(self, tmp_path):
+        trace = make_trace([0.1, 0.0, 0.212345678], delta=0.02,
+                           meta={"scenario": "test", "seed": 3})
+        path = tmp_path / "trace.csv"
+        trace.save_csv(path)
+        loaded = ProbeTrace.load_csv(path)
+        assert loaded.delta == pytest.approx(trace.delta)
+        assert np.allclose(loaded.rtts, trace.rtts)
+        assert np.allclose(loaded.send_times, trace.send_times)
+        assert loaded.meta == trace.meta
+        assert loaded.payload_bytes == trace.payload_bytes
+        assert loaded.wire_bytes == trace.wire_bytes
+
+    def test_json_roundtrip(self):
+        trace = make_trace([0.1, 0.0], meta={"live": True})
+        loaded = ProbeTrace.from_json(trace.to_json())
+        assert np.allclose(loaded.rtts, trace.rtts)
+        assert loaded.meta == {"live": True}
+
+    def test_load_csv_missing_delta_infers_from_send_times(self, tmp_path):
+        path = tmp_path / "bare.csv"
+        path.write_text("n,send_time,rtt\n0,0.0,0.1\n1,0.025,0.2\n")
+        loaded = ProbeTrace.load_csv(path)
+        assert loaded.delta == pytest.approx(0.025)
+
+
+@settings(max_examples=80, deadline=None)
+@given(rtts=st.lists(
+    st.one_of(st.just(0.0), st.floats(1e-4, 10.0)), min_size=1, max_size=50),
+    delta=st.floats(1e-3, 1.0))
+def test_csv_roundtrip_property(tmp_path_factory, rtts, delta):
+    """save_csv -> load_csv is the identity on all trace contents."""
+    trace = ProbeTrace.from_samples(delta=delta, rtts=rtts)
+    path = tmp_path_factory.mktemp("traces") / "t.csv"
+    trace.save_csv(path)
+    loaded = ProbeTrace.load_csv(path)
+    assert np.allclose(loaded.rtts, trace.rtts, atol=1e-9)
+    assert loaded.loss_count == trace.loss_count
+
+
+@settings(max_examples=80, deadline=None)
+@given(rtts=st.lists(
+    st.one_of(st.just(0.0), st.floats(1e-4, 10.0)), min_size=1, max_size=50))
+def test_loss_fraction_bounds_property(rtts):
+    """loss_fraction is always in [0, 1] and consistent with the mask."""
+    trace = ProbeTrace.from_samples(delta=0.05, rtts=rtts)
+    assert 0.0 <= trace.loss_fraction <= 1.0
+    assert trace.loss_count + trace.received.sum() == len(trace)

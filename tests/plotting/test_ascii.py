@@ -1,0 +1,99 @@
+"""Tests for the ASCII figure renderers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AnalysisError
+from repro.plotting.ascii import histogram, line, scatter
+
+
+class TestScatter:
+    def test_renders_title_and_scale(self):
+        output = scatter([1.0, 2.0], [1.0, 2.0], title="phase")
+        assert output.startswith("phase")
+        assert "[1, 2]" in output
+
+    def test_diagonal_drawn(self):
+        output = scatter([0.0, 10.0], [0.0, 10.0], width=20, height=10,
+                         diagonal=True)
+        assert "/" in output
+
+    def test_dense_regions_marked_darker(self):
+        x = [1.0] * 100 + [2.0]
+        y = [1.0] * 100 + [2.0]
+        output = scatter(x, y, width=10, height=5)
+        assert "#" in output  # the dense cell
+        assert "." in output or ":" in output or "*" in output
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(AnalysisError):
+            scatter([1.0], [1.0, 2.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            scatter([], [])
+
+    def test_constant_data_no_crash(self):
+        output = scatter([1.0, 1.0], [1.0, 1.0])
+        assert output
+
+    def test_output_width_bounded(self):
+        output = scatter(np.random.default_rng(0).random(500),
+                         np.random.default_rng(1).random(500),
+                         width=40, height=12)
+        for row in output.splitlines():
+            assert len(row) <= 42  # border + width + slack
+
+
+class TestLine:
+    def test_losses_marked(self):
+        output = line([0.1, 0.2, 0.0, 0.3], missing=[False, False, True,
+                                                     False])
+        assert "x" in output
+        assert "(x = loss)" in output
+
+    def test_scale_footer(self):
+        output = line([1.0, 5.0], y_label="rtt")
+        assert "rtt" in output
+        assert "[1, 5]" in output
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            line([])
+
+    def test_all_missing_rejected(self):
+        with pytest.raises(AnalysisError):
+            line([0.0, 0.0], missing=[True, True])
+
+    def test_more_samples_than_columns(self):
+        output = line(list(np.sin(np.linspace(0, 10, 500)) + 2), width=40)
+        assert output  # bucketing must not crash
+
+    def test_constant_series(self):
+        output = line([1.0, 1.0, 1.0])
+        assert output
+
+
+class TestHistogram:
+    def test_counts_shown(self):
+        output = histogram([5, 10, 2], [0.0, 1.0, 2.0, 3.0])
+        assert " 5" in output
+        assert " 10" in output
+
+    def test_bar_lengths_proportional(self):
+        output = histogram([1, 10], [0.0, 1.0, 2.0], width=20)
+        rows = [r for r in output.splitlines() if "|" in r]
+        assert rows[1].count("#") > rows[0].count("#")
+
+    def test_min_count_filters_rows(self):
+        output = histogram([1, 100], [0.0, 1.0, 2.0], min_count=50)
+        rows = [r for r in output.splitlines() if "|" in r]
+        assert len(rows) == 1
+
+    def test_edges_length_checked(self):
+        with pytest.raises(AnalysisError):
+            histogram([1, 2], [0.0, 1.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            histogram([], [0.0])

@@ -1,0 +1,54 @@
+"""Tests for CSV figure-data export."""
+
+import csv
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.plotting.export import export_columns, export_histogram
+
+
+class TestExportColumns:
+    def test_writes_header_and_rows(self, tmp_path):
+        path = tmp_path / "fig.csv"
+        export_columns(path, ["x", "y"], [1.0, 2.0], [3.0, 4.0])
+        with path.open() as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == ["x", "y"]
+        assert rows[1] == ["1", "3"]
+        assert len(rows) == 3
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "deep" / "nested" / "fig.csv"
+        export_columns(path, ["x"], [1.0])
+        assert path.exists()
+
+    def test_header_count_checked(self, tmp_path):
+        with pytest.raises(AnalysisError):
+            export_columns(tmp_path / "f.csv", ["x"], [1.0], [2.0])
+
+    def test_length_mismatch_checked(self, tmp_path):
+        with pytest.raises(AnalysisError):
+            export_columns(tmp_path / "f.csv", ["x", "y"], [1.0], [2.0, 3.0])
+
+    def test_precision_preserved(self, tmp_path):
+        path = tmp_path / "fig.csv"
+        export_columns(path, ["v"], [0.123456789])
+        with path.open() as handle:
+            rows = list(csv.reader(handle))
+        assert float(rows[1][0]) == pytest.approx(0.123456789)
+
+
+class TestExportHistogram:
+    def test_bin_rows(self, tmp_path):
+        path = tmp_path / "hist.csv"
+        export_histogram(path, [5, 7], [0.0, 1.0, 2.0])
+        with path.open() as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == ["bin_lo", "bin_hi", "count"]
+        assert rows[1] == ["0", "1", "5"]
+        assert rows[2] == ["1", "2", "7"]
+
+    def test_edges_checked(self, tmp_path):
+        with pytest.raises(AnalysisError):
+            export_histogram(tmp_path / "h.csv", [1], [0.0])

@@ -1,0 +1,147 @@
+"""Tests for the Section-6 batch-arrival queue model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.queueing.batchmodel import (
+    BatchArrivalQueue,
+    geometric_packet_batches,
+)
+
+MU = 128e3
+PROBE_BITS = 576.0
+DELTA = 0.02
+
+
+def make_queue(buffer_packets=15, batch=None, **kwargs):
+    if batch is None:
+        batch = geometric_packet_batches(2.0, 552 * 8,
+                                         arrival_probability=0.5)
+    return BatchArrivalQueue(mu=MU, buffer_packets=buffer_packets,
+                             delta=DELTA, probe_bits=PROBE_BITS,
+                             batch_bits=batch, **kwargs)
+
+
+class TestBasics:
+    def test_no_cross_traffic_no_waits_no_losses(self, rng):
+        queue = make_queue(batch=lambda r: 0.0)
+        result = queue.run(100, rng)
+        assert not result.lost.any()
+        assert np.allclose(result.waits, 0.0)
+
+    def test_light_load_small_waits(self, rng):
+        batch = geometric_packet_batches(1.0, 552 * 8,
+                                         arrival_probability=0.2)
+        result = make_queue(batch=batch).run(2000, rng)
+        assert result.lost.mean() < 0.01
+        waits = result.waits[~np.isnan(result.waits)]
+        assert waits.mean() < 0.05
+
+    def test_overload_fills_buffer_and_drops(self, rng):
+        # Each interval brings ~2.2x the service capacity.
+        batch = geometric_packet_batches(5.0, 552 * 8,
+                                         arrival_probability=0.8)
+        result = make_queue(batch=batch).run(3000, rng)
+        assert result.lost.mean() > 0.2
+        assert result.cross_loss_fraction > 0.2
+
+    def test_waits_bounded_by_buffer(self, rng):
+        buffer_packets = 12
+        batch = geometric_packet_batches(5.0, 552 * 8)
+        result = make_queue(buffer_packets=buffer_packets, batch=batch).run(
+            3000, rng)
+        waits = result.waits[~np.isnan(result.waits)]
+        # At most K packets of the largest size can be ahead of a probe.
+        assert waits.max() <= buffer_packets * 552 * 8 / MU + 1e-9
+
+    def test_deterministic_given_rng(self):
+        queue = make_queue()
+        a = queue.run(500, np.random.default_rng(3))
+        b = make_queue().run(500, np.random.default_rng(3))
+        assert np.array_equal(a.lost, b.lost)
+        assert np.allclose(a.waits, b.waits, equal_nan=True)
+
+
+class TestPaperClaims:
+    """The two behaviors Bolot reports for this model (Section 6)."""
+
+    def test_probe_compression_reproduced(self, rng):
+        """Consecutive probes behind a batch leave P/mu apart."""
+        batch = geometric_packet_batches(6.0, 552 * 8,
+                                         arrival_probability=0.5)
+        result = make_queue(buffer_packets=40, batch=batch).run(4000, rng)
+        trace = result.to_trace(fixed_delay=0.14)
+        from repro.analysis.compression import detect_compression
+        report = detect_compression(trace, mu=MU, tolerance=5e-4)
+        assert report.pair_fraction > 0.05
+
+    def test_loss_correlation_vanishes_as_delta_grows(self, rng):
+        """The model reproduces Table 3's mechanism: when δ is smaller
+        than a cross packet's service time (34.5 ms here), a probe lost
+        behind a full buffer is followed by another loss (clp >> ulp);
+        at large δ the buffer state decorrelates and clp ≈ ulp."""
+        from repro.analysis.loss import loss_stats
+        diffs = {}
+        for delta in (0.008, 0.05):
+            # Same offered bit-rate (85% of mu) at both probe intervals.
+            p_arrival = 0.85 * MU * delta / (3.0 * 552 * 8)
+            batch = geometric_packet_batches(
+                3.0, 552 * 8, arrival_probability=min(1.0, p_arrival))
+            queue = BatchArrivalQueue(mu=MU, buffer_packets=15, delta=delta,
+                                      probe_bits=PROBE_BITS,
+                                      batch_bits=batch)
+            stats = loss_stats(queue.run(60_000, rng).to_trace(0.14))
+            diffs[delta] = stats.clp - stats.ulp
+        assert diffs[0.008] > 0.2   # strongly bursty at delta = 8 ms
+        assert abs(diffs[0.05]) < 0.1  # essentially random at delta = 50 ms
+
+    def test_partial_batch_admission(self, rng):
+        """A batch larger than the free buffer is truncated, not rejected."""
+        queue = make_queue(buffer_packets=4,
+                           batch=lambda r: 10 * 552 * 8.0)
+        result = queue.run(50, rng)
+        # Some cross traffic is dropped but the queue still serves some.
+        assert 0.0 < result.cross_loss_fraction < 1.0
+
+
+class TestToTrace:
+    def test_trace_conversion(self, rng):
+        result = make_queue().run(200, rng)
+        trace = result.to_trace(fixed_delay=0.14, meta={"tag": "model"})
+        assert len(trace) == 200
+        assert trace.meta["model"] == "batch"
+        assert trace.meta["tag"] == "model"
+        received = trace.rtts[trace.received]
+        assert np.all(received >= 0.14)
+
+    def test_lost_probes_marked(self, rng):
+        batch = geometric_packet_batches(8.0, 552 * 8)
+        result = make_queue(buffer_packets=5, batch=batch).run(2000, rng)
+        trace = result.to_trace(0.14)
+        assert trace.loss_count == int(result.lost.sum())
+
+
+class TestValidation:
+    def test_constructor_validation(self):
+        batch = geometric_packet_batches(2.0, 552 * 8)
+        with pytest.raises(ConfigurationError):
+            BatchArrivalQueue(mu=0.0, buffer_packets=5, delta=0.02,
+                              probe_bits=1.0, batch_bits=batch)
+        with pytest.raises(ConfigurationError):
+            BatchArrivalQueue(mu=1.0, buffer_packets=0, delta=0.02,
+                              probe_bits=1.0, batch_bits=batch)
+        with pytest.raises(ConfigurationError):
+            BatchArrivalQueue(mu=1.0, buffer_packets=5, delta=0.02,
+                              probe_bits=1.0, batch_bits=batch,
+                              offset_fraction=1.0)
+        with pytest.raises(ConfigurationError):
+            BatchArrivalQueue(mu=1.0, buffer_packets=5, delta=0.02,
+                              probe_bits=1.0, batch_bits=batch,
+                              cross_packet_bits=0.0)
+
+    def test_batch_sampler_validation(self):
+        with pytest.raises(ConfigurationError):
+            geometric_packet_batches(0.5, 100.0)
+        with pytest.raises(ConfigurationError):
+            geometric_packet_batches(2.0, 100.0, arrival_probability=0.0)

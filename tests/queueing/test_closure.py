@@ -1,0 +1,75 @@
+"""Tests for the Section-6 measurement -> model closure."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AnalysisError, InsufficientDataError
+from repro.netdyn.trace import ProbeTrace
+from repro.queueing.closure import (
+    closed_loop_comparison,
+    fit_batch_distribution,
+)
+
+MU = 128e3
+
+
+class TestFitBatchDistribution:
+    def test_idle_trace_yields_zero_batches(self):
+        # Constant rtts: every gap equals delta -> idle regime.
+        trace = ProbeTrace.from_samples(delta=0.02, rtts=[0.14] * 100,
+                                        wire_bytes=72)
+        distribution = fit_batch_distribution(trace, mu=MU)
+        assert distribution.idle_fraction == 1.0
+        assert np.all(distribution.batch_bits == 0.0)
+        assert distribution.mean_load() == 0.0
+
+    def test_known_batch_recovered(self):
+        # Gaps of 35 ms (the paper's worked example): b = 3904 bits.
+        rtts = np.cumsum([0.015] * 50) + 1.0  # gap = 0.015 + 0.02 = 0.035
+        trace = ProbeTrace.from_samples(delta=0.02, rtts=rtts.tolist(),
+                                        wire_bytes=72)
+        distribution = fit_batch_distribution(trace, mu=MU)
+        assert np.allclose(distribution.batch_bits, 3904.0, atol=1.0)
+
+    def test_sampler_draws_from_observed(self, rng):
+        rtts = np.cumsum([0.015] * 50) + 1.0
+        trace = ProbeTrace.from_samples(delta=0.02, rtts=rtts.tolist(),
+                                        wire_bytes=72)
+        sampler = fit_batch_distribution(trace, mu=MU).sampler()
+        draws = [sampler(rng) for _ in range(50)]
+        assert all(d == pytest.approx(3904.0, abs=1.0) for d in draws)
+
+    def test_validation(self):
+        trace = ProbeTrace.from_samples(delta=0.02, rtts=[0.14] * 100)
+        with pytest.raises(AnalysisError):
+            fit_batch_distribution(trace, mu=0.0)
+        tiny = ProbeTrace.from_samples(delta=0.02, rtts=[0.14] * 5)
+        with pytest.raises(InsufficientDataError):
+            fit_batch_distribution(tiny, mu=MU)
+
+
+class TestClosedLoop:
+    def test_model_correlates_with_measurement(self, loaded_trace_20ms):
+        """The paper's §6 claim: the fitted model shows 'good correlation
+        with our experimental data'."""
+        report = closed_loop_comparison(loaded_trace_20ms, mu=MU,
+                                        buffer_packets=15, seed=3)
+        # Loss of the same order of magnitude.
+        assert 0.2 <= report.loss_ratio() <= 5.0
+        # Compression present in both.
+        assert report.measured_compression > 0.02
+        assert report.model_compression > 0.02
+        # Inferred load is physically sensible (below hard saturation).
+        assert 0.0 < report.mean_load < 1.2
+
+    def test_quiet_trace_round_trips_to_quiet_model(self):
+        trace = ProbeTrace.from_samples(delta=0.02, rtts=[0.14] * 200,
+                                        wire_bytes=72)
+        report = closed_loop_comparison(trace, mu=MU, buffer_packets=15)
+        assert report.model_loss.ulp == 0.0
+        assert report.model_compression == 0.0
+
+    def test_custom_probe_count(self, loaded_trace_20ms):
+        report = closed_loop_comparison(loaded_trace_20ms, mu=MU,
+                                        buffer_packets=15, probes=500)
+        assert report.model_loss.count == 500

@@ -1,0 +1,74 @@
+"""Tests for the Palm loss-gap identities (footnote 2 of the paper)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.loss import GilbertModel
+from repro.errors import AnalysisError
+from repro.queueing.palm import (
+    clp_from_loss_gap,
+    empirical_identity_gap,
+    loss_gap_from_clp,
+)
+
+
+class TestConversions:
+    def test_round_trip(self):
+        for clp in (0.0, 0.1, 0.5, 0.9):
+            assert clp_from_loss_gap(loss_gap_from_clp(clp)) == \
+                pytest.approx(clp)
+
+    def test_known_values(self):
+        assert loss_gap_from_clp(0.0) == 1.0
+        assert loss_gap_from_clp(0.5) == 2.0
+        assert math.isinf(loss_gap_from_clp(1.0))
+
+    def test_paper_table3_row(self):
+        # delta = 8 ms: clp = 0.60 -> plg = 2.5.
+        assert loss_gap_from_clp(0.60) == pytest.approx(2.5)
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            loss_gap_from_clp(1.5)
+        with pytest.raises(AnalysisError):
+            loss_gap_from_clp(-0.1)
+        with pytest.raises(AnalysisError):
+            clp_from_loss_gap(0.5)
+
+
+class TestEmpiricalIdentity:
+    def test_gap_small_for_long_gilbert_sequences(self, rng):
+        model = GilbertModel(p=0.05, q=0.5)
+        losses = model.simulate(200_000, rng)
+        assert empirical_identity_gap(losses.tolist()) < 0.05
+
+    def test_gap_shrinks_with_length(self, rng):
+        model = GilbertModel(p=0.05, q=0.4)
+        short = model.simulate(2_000, rng)
+        long = model.simulate(400_000, rng)
+        assert empirical_identity_gap(long.tolist()) <= \
+            empirical_identity_gap(short.tolist()) + 0.02
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            empirical_identity_gap([0, 0, 0])  # no losses
+        with pytest.raises(AnalysisError):
+            empirical_identity_gap([2, 0])  # not 0/1
+        with pytest.raises(AnalysisError):
+            empirical_identity_gap([1])  # too short
+
+
+@settings(max_examples=60, deadline=None)
+@given(p=st.floats(0.01, 0.3), q=st.floats(0.2, 0.95),
+       seed=st.integers(0, 1000))
+def test_palm_identity_property(p, q, seed):
+    """plg = 1/(1-clp) holds within sampling error for Markov losses."""
+    rng = np.random.default_rng(seed)
+    losses = GilbertModel(p=p, q=q).simulate(60_000, rng)
+    if losses.sum() < 100:
+        return  # not enough losses to test meaningfully
+    assert empirical_identity_gap(losses.tolist()) < 0.25

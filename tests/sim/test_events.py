@@ -1,0 +1,106 @@
+"""Unit tests for the event queue."""
+
+import pytest
+
+from repro.sim.events import Event, EventQueue
+
+
+def make_action(log, tag):
+    return lambda: log.append(tag)
+
+
+class TestEventQueue:
+    def test_pop_returns_earliest(self):
+        queue = EventQueue()
+        log = []
+        queue.push(2.0, make_action(log, "b"))
+        queue.push(1.0, make_action(log, "a"))
+        event = queue.pop()
+        assert event is not None
+        assert event.time == 1.0
+
+    def test_fifo_within_same_time(self):
+        queue = EventQueue()
+        log = []
+        queue.push(1.0, make_action(log, "first"))
+        queue.push(1.0, make_action(log, "second"))
+        first = queue.pop()
+        second = queue.pop()
+        first.action()
+        second.action()
+        assert log == ["first", "second"]
+
+    def test_priority_breaks_time_ties(self):
+        queue = EventQueue()
+        log = []
+        queue.push(1.0, make_action(log, "low"), priority=5)
+        queue.push(1.0, make_action(log, "high"), priority=-5)
+        queue.pop().action()
+        queue.pop().action()
+        assert log == ["high", "low"]
+
+    def test_cancelled_event_is_skipped(self):
+        queue = EventQueue()
+        log = []
+        handle = queue.push(1.0, make_action(log, "cancelled"))
+        queue.push(2.0, make_action(log, "kept"))
+        handle.cancel()
+        event = queue.pop()
+        assert event.time == 2.0
+
+    def test_len_excludes_cancelled(self):
+        queue = EventQueue()
+        handle = queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        assert len(queue) == 2
+        handle.cancel()
+        assert len(queue) == 1
+
+    def test_bool_reflects_live_events(self):
+        queue = EventQueue()
+        assert not queue
+        handle = queue.push(1.0, lambda: None)
+        assert queue
+        handle.cancel()
+        assert not queue
+
+    def test_peek_time_skips_cancelled(self):
+        queue = EventQueue()
+        handle = queue.push(1.0, lambda: None)
+        queue.push(3.0, lambda: None)
+        handle.cancel()
+        assert queue.peek_time() == 3.0
+
+    def test_peek_time_empty(self):
+        assert EventQueue().peek_time() is None
+
+    def test_pop_empty_returns_none(self):
+        assert EventQueue().pop() is None
+
+    def test_clear(self):
+        queue = EventQueue()
+        queue.push(1.0, lambda: None)
+        queue.clear()
+        assert len(queue) == 0
+        assert queue.pop() is None
+
+    def test_sequence_numbers_monotonic(self):
+        queue = EventQueue()
+        first = queue.push(1.0, lambda: None)
+        second = queue.push(1.0, lambda: None)
+        assert second.sequence > first.sequence
+
+
+class TestEvent:
+    def test_ordering_by_time_then_priority_then_sequence(self):
+        early = Event(1.0, 0, 0, lambda: None)
+        late = Event(2.0, 0, 1, lambda: None)
+        assert early < late
+        high = Event(1.0, -1, 2, lambda: None)
+        assert high < early
+
+    def test_cancel_sets_flag(self):
+        event = Event(1.0, 0, 0, lambda: None)
+        assert not event.cancelled
+        event.cancel()
+        assert event.cancelled

@@ -1,0 +1,74 @@
+"""Tests for the command-line entry points."""
+
+import pytest
+
+from repro import cli
+
+
+class TestExperimentCli:
+    def test_basic_run(self, capsys):
+        code = cli.main_experiment(["--delta-ms", "100", "--duration", "20",
+                                    "--seed", "3"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "probes sent: 200" in output
+        assert "loss: ulp" in output
+        assert "delay ms:" in output
+
+    def test_save_trace(self, tmp_path, capsys):
+        path = tmp_path / "trace.csv"
+        code = cli.main_experiment(["--delta-ms", "100", "--duration", "10",
+                                    "--save-trace", str(path)])
+        assert code == 0
+        assert path.exists()
+        from repro.netdyn.trace import ProbeTrace
+        trace = ProbeTrace.load_csv(path)
+        assert len(trace) == 100
+
+    def test_umd_pitt_scenario(self, capsys):
+        code = cli.main_experiment(["--delta-ms", "50", "--duration", "10",
+                                    "--scenario", "umd-pitt"])
+        assert code == 0
+
+
+class TestFiguresCli:
+    def test_single_figure(self, capsys):
+        code = cli.main_figures(["table1"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "Table 1" in output
+        assert "comparison rows passed" in output
+
+    def test_render_flag(self, capsys):
+        cli.main_figures(["table1", "--render"])
+        output = capsys.readouterr().out
+        assert "tom.inria.fr" in output
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(SystemExit):
+            cli.main_figures(["figure99"])
+
+    def test_export_dir_writes_csv(self, tmp_path, capsys):
+        code = cli.main_figures(["figure1", "--export-dir", str(tmp_path)])
+        assert code == 0
+        written = sorted(p.name for p in tmp_path.iterdir())
+        assert "figure1_trace.csv" in written
+        assert "figure1_phase.csv" in written
+        assert "figure1_workload_hist.csv" in written
+        from repro.netdyn.trace import ProbeTrace
+        trace = ProbeTrace.load_csv(tmp_path / "figure1_trace.csv")
+        assert len(trace) == 800
+
+
+class TestTracerouteCli:
+    def test_inria_route(self, capsys):
+        code = cli.main_traceroute(["--scenario", "inria-umd"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "Ithaca.NY.NSS.NSF.NET" in output
+        assert "mimsy.umd.edu" in output
+
+    def test_pitt_route(self, capsys):
+        code = cli.main_traceroute(["--scenario", "umd-pitt"])
+        assert code == 0
+        assert "pitt" in capsys.readouterr().out

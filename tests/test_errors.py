@@ -1,0 +1,29 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for name in dir(errors):
+            attribute = getattr(errors, name)
+            if isinstance(attribute, type) and \
+                    issubclass(attribute, Exception):
+                assert issubclass(attribute, errors.ReproError)
+
+    def test_specific_parents(self):
+        assert issubclass(errors.SchedulingError, errors.SimulationError)
+        assert issubclass(errors.AddressError, errors.NetworkError)
+        assert issubclass(errors.RoutingError, errors.NetworkError)
+        assert issubclass(errors.PortInUseError, errors.NetworkError)
+        assert issubclass(errors.PacketFormatError, errors.NetworkError)
+        assert issubclass(errors.InsufficientDataError, errors.AnalysisError)
+        assert issubclass(errors.FitError, errors.AnalysisError)
+
+    def test_catching_base_catches_all(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.FitError("x")
+        with pytest.raises(errors.AnalysisError):
+            raise errors.InsufficientDataError("y")

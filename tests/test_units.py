@@ -1,0 +1,42 @@
+"""Tests for unit helpers."""
+
+import pytest
+
+from repro import units
+
+
+class TestConversions:
+    def test_time(self):
+        assert units.ms(50) == pytest.approx(0.05)
+        assert units.us(250) == pytest.approx(0.00025)
+        assert units.seconds_to_ms(0.05) == pytest.approx(50.0)
+
+    def test_rates(self):
+        assert units.kbps(128) == pytest.approx(128_000.0)
+        assert units.mbps(1.544) == pytest.approx(1_544_000.0)
+
+    def test_data(self):
+        assert units.bytes_to_bits(72) == 576
+        assert units.bits_to_bytes(576) == 72
+
+
+class TestTransmissionDelay:
+    def test_paper_probe_on_bottleneck(self):
+        # The paper's P/mu: 72 bytes at 128 kb/s = 4.5 ms.
+        assert units.transmission_delay(72, units.kbps(128)) == \
+            pytest.approx(0.0045)
+
+    def test_zero_rate_rejected(self):
+        with pytest.raises(ValueError):
+            units.transmission_delay(100, 0.0)
+
+
+class TestPropagationDelay:
+    def test_transatlantic_order_of_magnitude(self):
+        # ~6000 km of fiber: tens of milliseconds.
+        delay = units.propagation_delay(6_000_000)
+        assert 0.02 <= delay <= 0.05
+
+    def test_zero_speed_rejected(self):
+        with pytest.raises(ValueError):
+            units.propagation_delay(1000.0, 0.0)
