@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.errors import AnalysisError, InsufficientDataError
 from repro.netdyn.trace import ProbeTrace
+from repro.units import bytes_to_bits
 
 
 @dataclass
@@ -57,7 +58,7 @@ def detect_compression(trace: ProbeTrace, mu: float,
     received_pair = trace.received[:-1] & trace.received[1:]
     if not np.any(received_pair):
         raise InsufficientDataError("no consecutive received pairs")
-    expected = trace.wire_bytes * 8 / mu - trace.delta
+    expected = bytes_to_bits(trace.wire_bytes) / mu - trace.delta
     compressed = received_pair & (
         np.abs((r[1:] - r[:-1]) - expected) <= tolerance)
 

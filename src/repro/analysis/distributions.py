@@ -65,7 +65,8 @@ def fit_constant_plus_gamma(trace: ProbeTrace,
             f"need >= 20 received probes to fit, have {valid.size}")
     if constant is None:
         spread = max(valid.max() - valid.min(), 1e-6)
-        constant = float(valid.min()) - 1e-3 * spread
+        # Dimensionless back-off (0.1% of the spread), not a unit conversion.
+        constant = float(valid.min()) - 1e-3 * spread  # repro: noqa[UNIT001]
     excess = valid - constant
     if np.any(excess <= 0):
         raise FitError("constant must lie strictly below every sample")

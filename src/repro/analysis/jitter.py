@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.errors import AnalysisError, InsufficientDataError
 from repro.netdyn.trace import ProbeTrace
+from repro.units import seconds_to_ms
 
 
 def _consecutive_delay_differences(trace: ProbeTrace) -> np.ndarray:
@@ -58,9 +59,10 @@ class IpdvSummary:
     maximum: float
 
     def __str__(self) -> str:
-        return (f"IPDV mean|dv| {self.mean_abs * 1e3:.2f} ms, p95 "
-                f"{self.p95 * 1e3:.2f} ms, p99 {self.p99 * 1e3:.2f} ms, "
-                f"max {self.maximum * 1e3:.2f} ms")
+        return (f"IPDV mean|dv| {seconds_to_ms(self.mean_abs):.2f} ms, p95 "
+                f"{seconds_to_ms(self.p95):.2f} ms, "
+                f"p99 {seconds_to_ms(self.p99):.2f} ms, "
+                f"max {seconds_to_ms(self.maximum):.2f} ms")
 
 
 def ipdv(trace: ProbeTrace) -> IpdvSummary:

@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.errors import AnalysisError, InsufficientDataError
 from repro.netdyn.trace import ProbeTrace
+from repro.units import bytes_to_bits
 
 
 @dataclass
@@ -45,7 +46,7 @@ def phase_points(trace: ProbeTrace) -> PhasePlot:
         raise InsufficientDataError(
             "no pair of consecutive probes was received")
     return PhasePlot(x=r[:-1][both], y=r[1:][both], delta=trace.delta,
-                     wire_bits=trace.wire_bytes * 8)
+                     wire_bits=bytes_to_bits(trace.wire_bytes))
 
 
 @dataclass

@@ -10,8 +10,6 @@ periodic faults (the 90-second gateway 'debug' stalls of [22]).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
-
 import numpy as np
 
 from repro.errors import AnalysisError, InsufficientDataError

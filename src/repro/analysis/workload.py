@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.errors import AnalysisError, InsufficientDataError
 from repro.netdyn.trace import ProbeTrace
+from repro.units import bits_to_bytes, bytes_to_bits
 
 
 @dataclass
@@ -95,7 +96,7 @@ def workload_distribution(trace: ProbeTrace, mu: float,
     counts, edges = np.histogram(samples, bins=edges)
     return WorkloadDistribution(samples=samples, counts=counts, edges=edges,
                                 delta=trace.delta, mu=mu,
-                                probe_bits=trace.wire_bytes * 8)
+                                probe_bits=bytes_to_bits(trace.wire_bytes))
 
 
 def find_peaks(dist: WorkloadDistribution, min_height_fraction: float = 0.02,
@@ -120,7 +121,7 @@ def find_peaks(dist: WorkloadDistribution, min_height_fraction: float = 0.02,
             implied_bits = max(0.0, dist.mu * centers[i] - dist.probe_bits)
             peaks.append(Peak(location=float(centers[i]),
                               height=int(counts[i]),
-                              implied_bytes=implied_bits / 8.0))
+                              implied_bytes=bits_to_bytes(implied_bits)))
     peaks.sort(key=lambda p: p.height, reverse=True)
     return peaks
 

@@ -11,8 +11,6 @@ millisecond-scale structure that NetDyn's dense probing resolves).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
-
 import numpy as np
 
 from repro.analysis.distributions import (

@@ -6,6 +6,7 @@ Installed as console scripts (see pyproject) and usable via ``python -m``:
 * ``repro-figures`` — regenerate any/all paper figures and tables.
 * ``repro-traceroute`` — traceroute over a calibrated simulated topology.
 * ``repro-echo`` — run a live UDP echo server (real sockets).
+* ``repro-audit`` — static-analysis lint of the determinism/unit invariants.
 """
 
 from __future__ import annotations
@@ -23,7 +24,7 @@ from repro.experiments.figures import ALL_FIGURES
 from repro.experiments.report import as_text, run_all
 from repro.experiments.runner import build_scenario, run_experiment
 from repro.tools.traceroute import format_route_table, traceroute
-from repro.units import seconds_to_ms
+from repro.units import bps_to_kbps, ms, seconds_to_ms
 
 
 def main_experiment(argv: Optional[Sequence[str]] = None) -> int:
@@ -42,7 +43,7 @@ def main_experiment(argv: Optional[Sequence[str]] = None) -> int:
                         help="write the trace as CSV")
     args = parser.parse_args(argv)
 
-    config = ExperimentConfig(delta=args.delta_ms * 1e-3,
+    config = ExperimentConfig(delta=ms(args.delta_ms),
                               duration=args.duration, seed=args.seed,
                               scenario=args.scenario)
     trace = run_experiment(config)
@@ -58,7 +59,7 @@ def main_experiment(argv: Optional[Sequence[str]] = None) -> int:
     mu = estimate_bottleneck_mu(trace, mu_hint=float(
         trace.meta.get("mu_bps", 128e3)))
     if mu:
-        print(f"bottleneck estimate: {mu / 1e3:.0f} kb/s")
+        print(f"bottleneck estimate: {bps_to_kbps(mu):.0f} kb/s")
     if args.save_trace:
         trace.save_csv(args.save_trace)
         print(f"trace written to {args.save_trace}")
@@ -134,6 +135,12 @@ def main_echo(argv: Optional[Sequence[str]] = None) -> int:
     except KeyboardInterrupt:
         pass
     return 0
+
+
+def main_audit(argv: Optional[Sequence[str]] = None) -> int:
+    """Run the devtools static analyzer (see repro.devtools.audit)."""
+    from repro.devtools.audit import main
+    return main(argv)
 
 
 if __name__ == "__main__":  # pragma: no cover - manual dispatch

@@ -1,0 +1,38 @@
+"""Static-analysis tooling that guards the library's core invariants.
+
+The reproduction's results are only trustworthy if two properties hold
+everywhere in ``src/repro``:
+
+* **Determinism** — runs are bit-for-bit reproducible from a seed, so all
+  randomness must route through :class:`repro.sim.random.RandomStreams` and
+  nothing may read the wall clock or iterate over unordered sets in
+  result-affecting code.
+* **Unit safety** — every quantity is SI internally (seconds, bits, bits/s),
+  with conversions expressed through :mod:`repro.units` helpers rather than
+  hand-written ``* 1e-3`` style literals.
+
+:mod:`repro.devtools.audit` is an AST-based linter that enforces these (plus
+simulator-encapsulation and error-handling rules) over the source tree.  Run
+it as ``repro-audit`` or ``python -m repro.devtools.audit``; suppress a
+finding on one line with ``# repro: noqa[RULE]``.
+"""
+
+from repro.devtools.core import (
+    FileContext,
+    Finding,
+    Rule,
+    all_rules,
+    audit_source,
+    get_rule,
+    register,
+)
+
+__all__ = [
+    "FileContext",
+    "Finding",
+    "Rule",
+    "all_rules",
+    "audit_source",
+    "get_rule",
+    "register",
+]

@@ -1,0 +1,127 @@
+"""The ``repro-audit`` command: run every rule over a source tree.
+
+Usage::
+
+    repro-audit src/repro                  # text report, exit 1 on findings
+    repro-audit --format json src/repro    # machine-readable (CI)
+    repro-audit --select UNIT001 src/repro # one rule only
+    repro-audit --list-rules
+    python -m repro.devtools.audit src/repro
+
+Exit codes: 0 clean, 1 findings, 2 bad invocation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple
+
+from repro.devtools.core import Finding, Rule, all_rules, audit_source, get_rule
+from repro.devtools.reporters import render_json, render_rule_list, render_text
+
+#: Rule id used for files that fail to parse at all.
+PARSE_RULE_ID = "PARSE001"
+
+
+def iter_python_files(paths: Sequence[str]) -> List[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files.
+
+    Raises
+    ------
+    FileNotFoundError
+        If any requested path does not exist.
+    """
+    files: List[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.extend(path.rglob("*.py"))
+        elif path.is_file():
+            files.append(path)
+        else:
+            raise FileNotFoundError(f"no such file or directory: {raw}")
+    return sorted(set(files))
+
+
+def audit_file(path: Path, rules: Optional[Sequence[Rule]] = None,
+               ) -> List[Finding]:
+    """Audit one file; syntax errors become a single PARSE001 finding."""
+    source = path.read_text(encoding="utf-8")
+    name = path.as_posix()
+    try:
+        return audit_source(source, path=name, rules=rules)
+    except SyntaxError as exc:
+        return [Finding(rule=PARSE_RULE_ID, path=name,
+                        line=exc.lineno or 1, col=(exc.offset or 1) - 1,
+                        message=f"file does not parse: {exc.msg}")]
+
+
+def audit_paths(paths: Sequence[str], rules: Optional[Sequence[Rule]] = None,
+                ) -> Tuple[List[Finding], int]:
+    """Audit every python file under ``paths``.
+
+    Returns ``(findings, files_checked)`` with findings location-sorted.
+    """
+    files = iter_python_files(paths)
+    findings: List[Finding] = []
+    for path in files:
+        findings.extend(audit_file(path, rules=rules))
+    findings.sort(key=Finding.sort_key)
+    return findings, len(files)
+
+
+def _select_rules(spec: Optional[str]) -> Optional[List[Rule]]:
+    if spec is None:
+        return None
+    rules = []
+    for rule_id in spec.split(","):
+        rule_id = rule_id.strip()
+        if not rule_id:
+            continue
+        try:
+            rules.append(get_rule(rule_id))
+        except KeyError:
+            known = ", ".join(rule.rule_id for rule in all_rules())
+            raise ValueError(f"unknown rule {rule_id!r} (known: {known})") \
+                from None
+    return rules
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point shared by the console script and ``python -m``."""
+    parser = argparse.ArgumentParser(
+        prog="repro-audit",
+        description="AST lint for repro's determinism/unit-safety invariants.")
+    parser.add_argument("paths", nargs="*", default=["src/repro"],
+                        help="files or directories to audit "
+                             "(default: src/repro)")
+    parser.add_argument("--format", choices=("text", "json"), default="text",
+                        help="report format (default text)")
+    parser.add_argument("--select", metavar="RULES",
+                        help="comma-separated rule ids to run (default all)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the registered rules and exit")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(render_rule_list(all_rules()))
+        return 0
+
+    try:
+        rules = _select_rules(args.select)
+        findings, files_checked = audit_paths(args.paths, rules=rules)
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"repro-audit: {exc}", file=sys.stderr)
+        return 2
+
+    if args.format == "json":
+        print(render_json(findings, files_checked=files_checked))
+    else:
+        print(render_text(findings, files_checked=files_checked))
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,193 @@
+"""Rule framework for the :mod:`repro.devtools` static analyzer.
+
+A :class:`Rule` inspects one parsed module (:class:`FileContext`) and yields
+:class:`Finding` objects.  Rules register themselves with :func:`register`
+and are looked up by id (``DET001``, ``UNIT001``, ...).  Per-line
+suppressions use the comment syntax::
+
+    total = delta * 1e3  # repro: noqa[UNIT001]
+    risky()              # repro: noqa            (suppresses every rule)
+
+Multiple ids separate with commas: ``# repro: noqa[UNIT001,DET001]``.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import PurePath
+from typing import ClassVar, Dict, Iterator, List, Optional, Sequence, Set, Type
+
+#: Matches a suppression comment; group 1 is the optional rule-id list.
+_NOQA_RE = re.compile(r"#\s*repro:\s*noqa(?:\[([A-Za-z0-9_,\s]+)\])?")
+
+#: Sentinel stored in the suppression map meaning "every rule".
+_ALL_RULES = "*"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic emitted by a rule.
+
+    Sorts by location so reports are stable regardless of rule order.
+    """
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def sort_key(self) -> tuple:
+        return (self.path, self.line, self.col, self.rule)
+
+    def format(self) -> str:
+        """Render as a classic ``path:line:col: RULE message`` diagnostic."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def as_dict(self) -> dict:
+        """JSON-serializable form (consumed by CI tooling)."""
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+@dataclass
+class FileContext:
+    """Everything a rule needs to inspect one module."""
+
+    path: str
+    source: str
+    tree: ast.AST
+    suppressions: Dict[int, Set[str]] = field(default_factory=dict)
+
+    @classmethod
+    def from_source(cls, source: str, path: str = "<string>") -> "FileContext":
+        """Parse ``source`` and precompute its suppression map.
+
+        Raises
+        ------
+        SyntaxError
+            If the module does not parse; callers turn this into a
+            ``PARSE001`` finding.
+        """
+        tree = ast.parse(source, filename=path)
+        return cls(path=path, source=source, tree=tree,
+                   suppressions=parse_suppressions(source))
+
+    def finding(self, rule: "Rule", node: ast.AST, message: str) -> Finding:
+        """Build a :class:`Finding` anchored at ``node``."""
+        return Finding(rule=rule.rule_id, path=self.path,
+                       line=getattr(node, "lineno", 1),
+                       col=getattr(node, "col_offset", 0),
+                       message=message)
+
+    def is_suppressed(self, finding: Finding) -> bool:
+        """True if the finding's line carries a matching noqa comment."""
+        ids = self.suppressions.get(finding.line)
+        if ids is None:
+            return False
+        return _ALL_RULES in ids or finding.rule in ids
+
+
+def parse_suppressions(source: str) -> Dict[int, Set[str]]:
+    """Map line numbers to the set of rule ids suppressed on that line."""
+    suppressed: Dict[int, Set[str]] = {}
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = _NOQA_RE.search(text)
+        if match is None:
+            continue
+        ids = match.group(1)
+        if ids is None:
+            suppressed[lineno] = {_ALL_RULES}
+        else:
+            suppressed[lineno] = {part.strip() for part in ids.split(",")
+                                  if part.strip()}
+    return suppressed
+
+
+class Rule:
+    """Base class for audit rules.
+
+    Subclasses set :attr:`rule_id` and :attr:`summary`, optionally
+    :attr:`exempt_suffixes` (posix path suffixes the rule never applies to,
+    e.g. ``repro/units.py`` for the magic-literal rule), and implement
+    :meth:`check`.
+    """
+
+    rule_id: ClassVar[str] = ""
+    summary: ClassVar[str] = ""
+    exempt_suffixes: ClassVar[Sequence[str]] = ()
+
+    def applies_to(self, path: str) -> bool:
+        """Whether this rule runs on ``path`` (honors exemptions)."""
+        posix = PurePath(path).as_posix()
+        return not any(posix.endswith(suffix) for suffix in self.exempt_suffixes)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Yield findings for one module."""
+        raise NotImplementedError
+
+
+_REGISTRY: Dict[str, Type[Rule]] = {}
+
+
+def register(rule_cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding ``rule_cls`` to the global registry."""
+    if not rule_cls.rule_id:
+        raise ValueError(f"{rule_cls.__name__} has no rule_id")
+    if rule_cls.rule_id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {rule_cls.rule_id}")
+    _REGISTRY[rule_cls.rule_id] = rule_cls
+    return rule_cls
+
+
+def _load_builtin_rules() -> None:
+    """Import the built-in rule modules so they self-register."""
+    from repro.devtools import (  # noqa: F401  (imported for side effects)
+        rules_determinism,
+        rules_errors,
+        rules_sim,
+        rules_units,
+    )
+
+
+def all_rules() -> List[Rule]:
+    """Instantiate every registered rule, sorted by id."""
+    _load_builtin_rules()
+    return [_REGISTRY[rule_id]() for rule_id in sorted(_REGISTRY)]
+
+
+def get_rule(rule_id: str) -> Rule:
+    """Instantiate the registered rule ``rule_id``.
+
+    Raises
+    ------
+    KeyError
+        If no rule with that id exists.
+    """
+    _load_builtin_rules()
+    return _REGISTRY[rule_id]()
+
+
+def audit_source(source: str, path: str = "<string>",
+                 rules: Optional[Sequence[Rule]] = None) -> List[Finding]:
+    """Run ``rules`` (default: all) over ``source`` and return findings.
+
+    Findings on lines with a matching ``# repro: noqa[...]`` comment are
+    dropped.  This is the single entry point both the CLI and the unit tests
+    go through.
+    """
+    ctx = FileContext.from_source(source, path=path)
+    active = list(rules) if rules is not None else all_rules()
+    findings = [finding
+                for rule in active if rule.applies_to(path)
+                for finding in rule.check(ctx)
+                if not ctx.is_suppressed(finding)]
+    findings.sort(key=Finding.sort_key)
+    return findings

@@ -1,0 +1,72 @@
+"""Lightweight import-alias resolution for audit rules.
+
+Rules that ban calls like ``numpy.random.default_rng`` must see through
+aliases (``import numpy as np``, ``from numpy import random as nr``,
+``from random import choice``).  :class:`ImportMap` records what each local
+name binds to, and :func:`resolve_call_path` turns an attribute chain into a
+fully-qualified dotted path using that map.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional
+
+
+class ImportMap(ast.NodeVisitor):
+    """Maps local names introduced by imports to fully-qualified paths."""
+
+    def __init__(self) -> None:
+        self.bindings: Dict[str, str] = {}
+
+    @classmethod
+    def from_tree(cls, tree: ast.AST) -> "ImportMap":
+        mapping = cls()
+        mapping.visit(tree)
+        return mapping
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.asname is not None:
+                self.bindings[alias.asname] = alias.name
+            else:
+                # ``import numpy.random`` binds the root name ``numpy``.
+                root = alias.name.split(".")[0]
+                self.bindings[root] = root
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module is None or node.level:
+            return  # relative imports never reach stdlib/numpy namespaces
+        for alias in node.names:
+            local = alias.asname or alias.name
+            self.bindings[local] = f"{node.module}.{alias.name}"
+
+
+def attribute_chain(node: ast.AST) -> Optional[List[str]]:
+    """Return ``["np", "random", "default_rng"]`` for ``np.random.default_rng``.
+
+    ``None`` if the expression is not a plain name/attribute chain (e.g. it
+    contains calls or subscripts).
+    """
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    parts.reverse()
+    return parts
+
+
+def resolve_call_path(func: ast.AST, imports: ImportMap) -> Optional[str]:
+    """Fully-qualified dotted path of a call target, or ``None``.
+
+    The chain's root name is looked up in ``imports``; unknown roots resolve
+    to themselves (locals shadowing a module produce harmless non-matches).
+    """
+    parts = attribute_chain(func)
+    if parts is None:
+        return None
+    root = imports.bindings.get(parts[0], parts[0])
+    return ".".join([root] + parts[1:])

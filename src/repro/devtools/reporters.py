@@ -1,0 +1,38 @@
+"""Render audit findings as human text or machine-readable JSON."""
+
+from __future__ import annotations
+
+import json
+from typing import List, Sequence
+
+from repro.devtools.core import Finding, Rule
+
+
+def render_text(findings: Sequence[Finding], files_checked: int = 0) -> str:
+    """Classic compiler-style report, one ``path:line:col`` line per finding."""
+    lines: List[str] = [finding.format() for finding in findings]
+    noun = "finding" if len(findings) == 1 else "findings"
+    file_noun = "file" if files_checked == 1 else "files"
+    suffix = f" across {files_checked} {file_noun}" if files_checked else ""
+    lines.append(f"{len(findings)} {noun}{suffix}")
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding], files_checked: int = 0) -> str:
+    """JSON document: ``{"findings": [...], "count": N, "files_checked": M}``.
+
+    The CI workflow parses this, so the key names are a stable contract.
+    """
+    payload = {
+        "findings": [finding.as_dict() for finding in findings],
+        "count": len(findings),
+        "files_checked": files_checked,
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def render_rule_list(rules: Sequence[Rule]) -> str:
+    """One-line-per-rule listing for ``repro-audit --list-rules``."""
+    width = max((len(rule.rule_id) for rule in rules), default=0)
+    return "\n".join(f"{rule.rule_id:<{width}}  {rule.summary}"
+                     for rule in rules)

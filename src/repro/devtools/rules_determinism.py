@@ -1,0 +1,99 @@
+"""Determinism rules: DET001 (entropy sources) and DET002 (set iteration).
+
+A simulation run must be a pure function of its seed.  Wall-clock reads and
+module-level RNGs break replay; iterating a ``set`` makes event order depend
+on hash randomization (``PYTHONHASHSEED``) for str-keyed sets.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Set
+
+from repro.devtools.core import FileContext, Finding, Rule, register
+from repro.devtools.imports import ImportMap, attribute_chain, resolve_call_path
+
+#: Call targets that read the wall clock.
+_WALL_CLOCK = {
+    "time.time",
+    "time.time_ns",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+    "datetime.now",
+    "datetime.utcnow",
+    "datetime.today",
+}
+
+#: Module prefixes whose *call* targets are unseeded/global RNG state.
+_RNG_PREFIXES = ("random.", "numpy.random.")
+
+
+@register
+class EntropySourceRule(Rule):
+    """DET001: no wall clock or RandomStreams-bypassing randomness."""
+
+    rule_id = "DET001"
+    summary = ("wall-clock reads and random/numpy.random calls are banned; "
+               "route randomness through sim.random.RandomStreams")
+    # RandomStreams itself is the one sanctioned numpy.random client.
+    exempt_suffixes = ("repro/sim/random.py",)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        imports = ImportMap.from_tree(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = attribute_chain(node.func)
+            if chain is None or chain[0] not in imports.bindings:
+                continue
+            path = resolve_call_path(node.func, imports)
+            if path is None:
+                continue
+            if path in _WALL_CLOCK:
+                yield ctx.finding(
+                    self, node,
+                    f"call to wall clock `{path}` is nondeterministic; "
+                    f"use the simulator clock (`sim.now`) or "
+                    f"`time.monotonic` for live-network elapsed time")
+            elif path.startswith(_RNG_PREFIXES) or path == "random.random":
+                yield ctx.finding(
+                    self, node,
+                    f"call to `{path}` bypasses seeded streams; draw from "
+                    f"`sim.streams.get(name)` (repro.sim.random.RandomStreams)")
+
+
+def _is_set_expression(node: ast.AST) -> bool:
+    """True for ``set(...)``/``frozenset(...)`` calls and set displays."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    return (isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in ("set", "frozenset"))
+
+
+@register
+class SetIterationRule(Rule):
+    """DET002: no direct iteration over sets (unordered -> nondeterministic)."""
+
+    rule_id = "DET002"
+    summary = ("iterating a set has hash-dependent order; sort it first "
+               "(`sorted(...)`) or use a list/dict")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        seen: Set[int] = set()
+        for node in ast.walk(ctx.tree):
+            iters: List[ast.expr] = []
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iters.append(node.iter)
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                                   ast.GeneratorExp)):
+                iters.extend(gen.iter for gen in node.generators)
+            for it in iters:
+                if _is_set_expression(it) and id(it) not in seen:
+                    seen.add(id(it))
+                    yield ctx.finding(
+                        self, it,
+                        "iteration over a set is order-nondeterministic; "
+                        "wrap in sorted(...) or keep a list/dict")

@@ -1,0 +1,63 @@
+"""Error-handling rule: EXC001.
+
+Bare ``except:`` (and ``except Exception: pass``) swallow
+:class:`KeyboardInterrupt`/analysis bugs indiscriminately and hide failed
+invariants.  Library code catches the specific :mod:`repro.errors` classes it
+can actually handle; anything else should propagate.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List
+
+from repro.devtools.core import FileContext, Finding, Rule, register
+
+_BROAD_TYPES = ("Exception", "BaseException")
+
+
+def _is_broad_type(expr: ast.AST) -> bool:
+    """True for ``Exception``/``BaseException`` (bare or via a tuple)."""
+    if isinstance(expr, ast.Name):
+        return expr.id in _BROAD_TYPES
+    if isinstance(expr, ast.Tuple):
+        return any(_is_broad_type(element) for element in expr.elts)
+    return False
+
+
+def _swallows(body: List[ast.stmt]) -> bool:
+    """True if the handler body only discards the error (pass/.../continue)."""
+    for stmt in body:
+        if isinstance(stmt, ast.Pass):
+            continue
+        if isinstance(stmt, ast.Continue):
+            continue
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+            continue  # docstring or `...`
+        return False
+    return True
+
+
+@register
+class BroadExceptRule(Rule):
+    """EXC001: no bare except / silently-swallowed broad except."""
+
+    rule_id = "EXC001"
+    summary = ("bare `except:` and `except Exception: pass` are banned; "
+               "catch the specific repro.errors class (or re-raise)")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield ctx.finding(
+                    self, node,
+                    "bare `except:` catches everything including "
+                    "KeyboardInterrupt; catch a repro.errors class instead")
+            elif _is_broad_type(node.type) and _swallows(node.body):
+                yield ctx.finding(
+                    self, node,
+                    "`except Exception` that silently discards the error "
+                    "hides violated invariants; catch the specific "
+                    "repro.errors class or handle/re-raise it")

@@ -1,0 +1,160 @@
+"""Unit-safety rules: UNIT001 (magic conversion literals), UNIT002 (suffixes).
+
+The library is SI-internal (seconds, bits, bits/s).  Conversions belong in
+:mod:`repro.units`; a hand-written ``* 1e-3`` is a silent factor-of-1000 bug
+waiting to happen, and a parameter named ``delay_ms`` reintroduces a second
+unit system into the internal API.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Tuple, Union
+
+from repro.devtools.core import FileContext, Finding, Rule, register
+
+#: (value, op) -> suggested repro.units helper.  ``op`` is "*" or "/".
+_CONVERSION_HINTS = {
+    (1e-3, "*"): "ms(x) [ms -> s]",
+    (1e-3, "/"): "seconds_to_ms(x) [s -> ms]",
+    (1e3, "*"): "seconds_to_ms(x) [s -> ms] or kbps(x) [kb/s -> b/s]",
+    (1e3, "/"): "ms(x) [ms -> s] or bps_to_kbps(x) [b/s -> kb/s]",
+    (1e6, "*"): "seconds_to_us(x) [s -> us] or mbps(x) [Mb/s -> b/s]",
+    (1e6, "/"): "us(x) [us -> s] or bps_to_mbps(x) [b/s -> Mb/s]",
+    (8, "*"): "bytes_to_bits(x)",
+    (8, "/"): "bits_to_bytes(x)",
+}
+
+#: Identifier suffixes that smuggle non-SI units into the internal API.
+_BANNED_SUFFIXES = ("_ms", "_msec", "_us", "_usec", "_kbps", "_mbps", "_gbps")
+
+
+def _literal_value(node: ast.AST) -> Optional[float]:
+    if isinstance(node, ast.Constant) and isinstance(node.value, (int, float)) \
+            and not isinstance(node.value, bool):
+        return float(node.value)
+    return None
+
+
+def _match_conversion(node: ast.BinOp) -> Optional[Tuple[float, str]]:
+    """Return ``(value, op)`` if ``node`` looks like a unit conversion."""
+    if isinstance(node.op, ast.Mult):
+        op = "*"
+        candidates = (_literal_value(node.left), _literal_value(node.right))
+    elif isinstance(node.op, ast.Div):
+        op = "/"
+        candidates = (_literal_value(node.right),)
+    else:
+        return None
+    for value in candidates:
+        if value is not None and (value, op) in _CONVERSION_HINTS:
+            return value, op
+    return None
+
+
+@register
+class MagicConversionLiteralRule(Rule):
+    """UNIT001: unit-conversion literals outside units.py."""
+
+    rule_id = "UNIT001"
+    summary = ("magic conversion factors (1e-3, 1e3, 1e6, * 8, / 8) must go "
+               "through repro.units helpers")
+    # units.py is where the factors are *defined*.
+    exempt_suffixes = ("repro/units.py",)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.BinOp):
+                continue
+            match = _match_conversion(node)
+            if match is None:
+                continue
+            value, op = match
+            hint = _CONVERSION_HINTS[(value, op)]
+            shown = int(value) if value == int(value) and value >= 1 else value
+            yield ctx.finding(
+                self, node,
+                f"magic unit factor `{op} {shown:g}`; use repro.units."
+                f"{hint} so the conversion is named and appears once")
+
+
+def _suffix_of(name: str) -> Optional[str]:
+    for suffix in _BANNED_SUFFIXES:
+        if name.endswith(suffix):
+            return suffix
+    return None
+
+
+@register
+class UnitSuffixedNameRule(Rule):
+    """UNIT002: no `_ms`/`_kbps`-style parameters or attributes."""
+
+    rule_id = "UNIT002"
+    summary = ("parameters/attributes suffixed _ms/_us/_kbps/_mbps are "
+               "banned; the internal API is SI-only (seconds, bits, bits/s)")
+    # units.py defines the converters themselves (seconds_to_ms, ...).
+    exempt_suffixes = ("repro/units.py",)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_signature(ctx, node)
+            elif isinstance(node, ast.ClassDef):
+                yield from self._check_class_body(ctx, node)
+            elif isinstance(node, (ast.Assign, ast.AnnAssign)):
+                yield from self._check_self_attributes(ctx, node)
+
+    def _check_signature(
+            self, ctx: FileContext,
+            node: Union[ast.FunctionDef, ast.AsyncFunctionDef],
+    ) -> Iterator[Finding]:
+        arguments = node.args
+        every = (list(arguments.posonlyargs) + list(arguments.args)
+                 + list(arguments.kwonlyargs))
+        if arguments.vararg is not None:
+            every.append(arguments.vararg)
+        if arguments.kwarg is not None:
+            every.append(arguments.kwarg)
+        for arg in every:
+            suffix = _suffix_of(arg.arg)
+            if suffix is not None:
+                yield ctx.finding(
+                    self, arg,
+                    f"parameter `{arg.arg}` carries non-SI unit suffix "
+                    f"`{suffix}`; accept SI (seconds / bits/s) and convert "
+                    f"at the boundary with repro.units")
+
+    def _check_class_body(self, ctx: FileContext,
+                          node: ast.ClassDef) -> Iterator[Finding]:
+        for stmt in node.body:
+            targets: List[ast.expr] = []
+            if isinstance(stmt, ast.AnnAssign):
+                targets = [stmt.target]
+            elif isinstance(stmt, ast.Assign):
+                targets = list(stmt.targets)
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    suffix = _suffix_of(target.id)
+                    if suffix is not None:
+                        yield ctx.finding(
+                            self, target,
+                            f"class attribute `{target.id}` carries non-SI "
+                            f"unit suffix `{suffix}`; store SI and convert "
+                            f"for display only")
+
+    def _check_self_attributes(
+            self, ctx: FileContext,
+            node: Union[ast.Assign, ast.AnnAssign]) -> Iterator[Finding]:
+        targets: List[ast.expr] = [node.target] \
+            if isinstance(node, ast.AnnAssign) else list(node.targets)
+        for target in targets:
+            if (isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id in ("self", "cls")):
+                suffix = _suffix_of(target.attr)
+                if suffix is not None:
+                    yield ctx.finding(
+                        self, target,
+                        f"attribute `{target.value.id}.{target.attr}` carries "
+                        f"non-SI unit suffix `{suffix}`; store SI and convert "
+                        f"for display only")

@@ -14,7 +14,7 @@ from repro.analysis.loss import loss_stats
 from repro.experiments.figures import FigureResult
 from repro.netdyn.session import run_probe_experiment
 from repro.topology.inria_umd import build_inria_umd
-from repro.units import seconds_to_ms
+from repro.units import bps_to_kbps, seconds_to_ms
 
 
 def validate_calibration(seed: int = 1,
@@ -34,7 +34,7 @@ def validate_calibration(seed: int = 1,
     result.add("idle path lossless", "0", f"{idle_trace.loss_count}",
                idle_trace.loss_count == 0)
     result.add("bottleneck rate", "128 kb/s",
-               f"{idle.bottleneck_rate_bps / 1e3:.0f} kb/s",
+               f"{bps_to_kbps(idle.bottleneck_rate_bps):.0f} kb/s",
                idle.bottleneck_rate_bps == 128_000)
 
     # --- Fault floor: faults only, no congestion. -----------------------

@@ -20,6 +20,7 @@ from repro.errors import ConfigurationError
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import run_experiment
 from repro.netdyn.trace import ProbeTrace
+from repro.units import seconds_to_ms
 
 
 @dataclass
@@ -82,9 +83,9 @@ class CampaignResult:
             ulp_text = (f"{mean_of['ulp']:.3f}±{ulp.width / 2:.3f}"
                         if ulp else f"{mean_of['ulp']:.3f}")
             lines.append(
-                f"{delta * 1e3:6.0f}ms {ulp_text:>14} "
+                f"{seconds_to_ms(delta):6.0f}ms {ulp_text:>14} "
                 f"{mean_of['clp']:14.3f} "
-                f"{mean_of['mean_rtt'] * 1e3:16.1f} "
+                f"{seconds_to_ms(mean_of['mean_rtt']):16.1f} "
                 f"{len(self.spec.seeds):5d}")
         return "\n".join(lines)
 
@@ -120,7 +121,7 @@ def run_campaign(spec: CampaignSpec) -> CampaignResult:
             trace = run_experiment(config)
             traces[(_delta, seed)] = trace
             if output_dir:
-                name = f"trace_d{_delta * 1e3:g}_s{seed}.csv"
+                name = f"trace_d{seconds_to_ms(_delta):g}_s{seed}.csv"
                 trace.save_csv(output_dir / name)
             return _cell_metrics(trace)
 

@@ -9,7 +9,6 @@ one-to-one; EXPERIMENTS.md is generated from their output.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
@@ -36,7 +35,7 @@ from repro.topology.inria_umd import (
     TABLE1_ROUTE,
 )
 from repro.topology.umd_pitt import TABLE2_ROUTE
-from repro.units import seconds_to_ms
+from repro.units import bps_to_kbps, bytes_to_bits, seconds_to_ms, transmission_delay
 
 
 @dataclass
@@ -138,7 +137,7 @@ def figure1(seed: int = 1, count: int = 800) -> FigureResult:
     result.add("min rtt (D)", "~140 ms", f"{minimum:.0f} ms",
                120 <= minimum <= 160)
     result.rendering = ascii_plots.line(
-        trace.rtts * 1e3, missing=trace.lost,
+        seconds_to_ms(trace.rtts), missing=trace.lost,
         title="rtt_n (ms) vs n, delta=50ms", y_label="rtt ms")
     return result
 
@@ -154,12 +153,13 @@ def _phase_figure(figure_id: str, delta: float, seed: int, count: int,
     trace = run_experiment(config)
     result = FigureResult(
         figure_id,
-        f"Phase plot of rtt_n, delta = {delta * 1e3:g} ms ({scenario})")
+        f"Phase plot of rtt_n, delta = {seconds_to_ms(delta):g} ms "
+        f"({scenario})")
     result.trace = trace
     plot = phase_points(trace)
     result.rendering = ascii_plots.scatter(
-        plot.x * 1e3, plot.y * 1e3, diagonal=True,
-        title=f"rtt_n+1 vs rtt_n (ms), delta={delta * 1e3:g}ms",
+        seconds_to_ms(plot.x), seconds_to_ms(plot.y), diagonal=True,
+        title=f"rtt_n+1 vs rtt_n (ms), delta={seconds_to_ms(delta):g}ms",
         x_label="rtt_n ms")
     return result, trace
 
@@ -185,7 +185,7 @@ def figure2(seed: int = 1, count: int = 2400) -> FigureResult:
         # The band-mean estimator carries the same ~±20% uncertainty as
         # the paper's visual x-intercept read (3.906 ms clock quantization
         # plus small cross packets contaminating the band).
-        mu_kbps = fit.mu_estimate / 1e3
+        mu_kbps = bps_to_kbps(fit.mu_estimate)
         result.add("bottleneck estimate μ", "~130 kb/s (actual 128)",
                    f"{mu_kbps:.0f} kb/s", 100 <= mu_kbps <= 160)
     else:
@@ -202,7 +202,7 @@ def figure4(seed: int = 1, count: int = 800) -> FigureResult:
     mean_offset = float(np.mean(plot.y - plot.x))
     result.add("scatter around diagonal", "most points",
                f"{diag:.0%} within 150 ms, mean offset "
-               f"{mean_offset * 1e3:+.1f} ms",
+               f"{seconds_to_ms(mean_offset):+.1f} ms",
                diag > 0.7 and abs(mean_offset) < 0.02)
     line_fraction = fit.point_count / max(1, len(plot))
     result.add("compression-line points", "2 of ~800 (almost none)",
@@ -264,13 +264,14 @@ def _workload_figure(figure_id: str, delta: float, seed: int,
     trace = run_experiment(config)
     result = FigureResult(
         figure_id,
-        f"Distribution of w_n+1 - w_n + delta, delta = {delta * 1e3:g} ms")
+        f"Distribution of w_n+1 - w_n + delta, "
+        f"delta = {seconds_to_ms(delta):g} ms")
     result.trace = trace
     dist = workload_distribution(trace, mu=INRIA_MU,
                                  bin_width=_workload_bin_width(trace))
     result.rendering = ascii_plots.histogram(
-        dist.counts, dist.edges * 1e3, unit="ms",
-        title=f"w_n+1 - w_n + delta (ms), delta={delta * 1e3:g}ms",
+        dist.counts, seconds_to_ms(dist.edges), unit="ms",
+        title=f"w_n+1 - w_n + delta (ms), delta={seconds_to_ms(delta):g}ms",
         min_count=max(1, int(0.002 * dist.counts.sum())))
     return result, trace
 
@@ -281,17 +282,21 @@ def _peak_rows(result: FigureResult, trace: ProbeTrace,
     dist = workload_distribution(trace, mu=INRIA_MU, bin_width=bin_width)
     peaks = find_peaks(dist, min_height_fraction=0.004)
     classified = classify_peaks(peaks, delta=delta, mu=INRIA_MU,
-                                probe_bits=trace.wire_bytes * 8,
+                                probe_bits=bytes_to_bits(trace.wire_bytes),
                                 tolerance=max(4e-3, bin_width))
-    service_ms = trace.wire_bytes * 8 / INRIA_MU * 1e3
+    service_ms = seconds_to_ms(
+        transmission_delay(trace.wire_bytes, INRIA_MU))
     comp = classified["compression"]
     result.add(f"peak at P/μ = {service_ms:.1f} ms",
                "present (compressed probes)",
-               f"at {comp.location * 1e3:.1f} ms" if comp else "absent",
+               f"at {seconds_to_ms(comp.location):.1f} ms" if comp
+               else "absent",
                comp is not None)
     idle = classified["idle"]
-    result.add(f"peak at δ = {delta * 1e3:g} ms", "present (idle queue)",
-               f"at {idle.location * 1e3:.1f} ms" if idle else "absent",
+    result.add(f"peak at δ = {seconds_to_ms(delta):g} ms",
+               "present (idle queue)",
+               f"at {seconds_to_ms(idle.location):.1f} ms" if idle
+               else "absent",
                idle is not None)
     one = classified["one_packet"]
     if one is not None:
@@ -330,7 +335,7 @@ def figure9(seed: int = 1, duration: Optional[float] = None) -> FigureResult:
         dist = workload_distribution(tr, mu=INRIA_MU, bin_width=bin_width)
         peaks = find_peaks(dist, min_height_fraction=0.005)
         cls = classify_peaks(peaks, delta=delta, mu=INRIA_MU,
-                             probe_bits=tr.wire_bytes * 8,
+                             probe_bits=bytes_to_bits(tr.wire_bytes),
                              tolerance=max(4e-3, bin_width))
         if cls["compression"] and cls["idle"]:
             ratio[name] = cls["compression"].height / cls["idle"].height
@@ -376,7 +381,8 @@ def table3(seed: int = 2, duration: Optional[float] = None,
         measured[delta] = stats
         paper = PAPER_TABLE3[delta]
         lines.append(
-            f"{delta * 1e3:6.0f}ms {stats.ulp:6.2f} {stats.clp:6.2f} "
+            f"{seconds_to_ms(delta):6.0f}ms {stats.ulp:6.2f} "
+            f"{stats.clp:6.2f} "
             f"{stats.plg:6.1f}   ({paper['ulp']:.2f}/{paper['clp']:.2f}/"
             f"{paper['plg']:.1f})")
     result.rendering = "\n".join(lines)

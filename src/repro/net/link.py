@@ -17,6 +17,7 @@ from repro.net.faults import FaultModel
 from repro.net.packet import Packet
 from repro.net.queue import DropTailQueue
 from repro.sim.kernel import Simulator
+from repro.units import seconds_to_ms
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
     from repro.net.node import Node
@@ -143,4 +144,5 @@ class Interface:
 
     def __repr__(self) -> str:
         return (f"<Interface {self.name} {self.rate_bps:.0f}bps "
-                f"prop={self.prop_delay * 1e3:.1f}ms busy={self._busy}>")
+                f"prop={seconds_to_ms(self.prop_delay):.1f}ms "
+                f"busy={self._busy}>")

@@ -10,6 +10,8 @@ constant below is 40 bytes.
 from __future__ import annotations
 
 import itertools
+
+from repro.units import BITS_PER_BYTE
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
@@ -99,7 +101,7 @@ class Packet:
     @property
     def size_bits(self) -> int:
         """Wire size in bits."""
-        return self.size_bytes * 8
+        return self.size_bytes * BITS_PER_BYTE
 
     @property
     def is_icmp(self) -> bool:

@@ -19,6 +19,7 @@ import numpy as np
 from repro.errors import AnalysisError
 from repro.net.link import Interface
 from repro.net.packet import Packet
+from repro.units import bytes_to_bits
 
 
 @dataclass(frozen=True)
@@ -90,7 +91,7 @@ class PacketTap:
         span = self.records[-1].time - self.records[0].time
         if span <= 0:
             return 0.0
-        total_bits = sum(r.size_bytes * 8 for r in self.records)
+        total_bits = sum(bytes_to_bits(r.size_bytes) for r in self.records)
         return total_bits / span
 
     def save_csv(self, path: Union[str, Path]) -> None:

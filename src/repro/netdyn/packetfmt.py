@@ -27,6 +27,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.errors import PacketFormatError
+from repro.units import BITS_PER_BYTE
 
 #: Default probe payload size used in all the paper's experiments.
 PROBE_PAYLOAD_BYTES = 32
@@ -36,7 +37,7 @@ MIN_PAYLOAD_BYTES = 22
 
 _SEQ_BYTES = 4
 _STAMP_BYTES = 6
-_UNSET = (1 << (8 * _STAMP_BYTES)) - 1
+_UNSET = (1 << (BITS_PER_BYTE * _STAMP_BYTES)) - 1
 _MICROSECOND = 1e-6
 
 
@@ -77,7 +78,7 @@ def encode_probe(seq: int, source_time: Optional[float] = None,
         raise PacketFormatError(
             f"payload must be at least {MIN_PAYLOAD_BYTES} bytes, "
             f"got {payload_bytes}")
-    if not 0 <= seq < (1 << (8 * _SEQ_BYTES)):
+    if not 0 <= seq < (1 << (BITS_PER_BYTE * _SEQ_BYTES)):
         raise PacketFormatError(f"sequence number {seq} out of range")
     header = (seq.to_bytes(_SEQ_BYTES, "big")
               + _encode_stamp(source_time)

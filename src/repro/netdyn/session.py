@@ -17,6 +17,7 @@ from repro.netdyn import packetfmt
 from repro.netdyn.echo import ECHO_PORT, EchoAgent
 from repro.netdyn.source import SINK_PORT, SourceAgent
 from repro.netdyn.trace import ProbeTrace
+from repro.units import seconds_to_ms
 
 #: Extra simulated time after the last probe is sent, letting stragglers
 #: return before they are declared lost.  Generous relative to any RTT the
@@ -69,7 +70,7 @@ def run_probe_experiment(network: Network, source: str, echo: str,
     end_time = start_at + count * delta + drain
     network.sim.run(until=end_time)
 
-    trace_meta = {"delta_ms": delta * 1e3, "count": count}
+    trace_meta = {"delta_ms": seconds_to_ms(delta), "count": count}
     trace_meta.update(meta or {})
     trace = agent.trace(meta=trace_meta)
     agent.close()

@@ -11,14 +11,14 @@ from __future__ import annotations
 
 import csv
 import json
-import math
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Iterable, Optional, Sequence, Union
+from typing import Any, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.errors import AnalysisError, InsufficientDataError
+from repro.units import seconds_to_ms
 
 #: Sentinel round-trip value for lost probes (the paper's convention).
 LOST = 0.0
@@ -213,5 +213,6 @@ class ProbeTrace:
                    wire_bytes=data["wire_bytes"], meta=data["meta"])
 
     def __repr__(self) -> str:
-        return (f"<ProbeTrace delta={self.delta * 1e3:g}ms n={len(self)} "
+        return (f"<ProbeTrace delta={seconds_to_ms(self.delta):g}ms "
+                f"n={len(self)} "
                 f"loss={self.loss_fraction:.1%}>")

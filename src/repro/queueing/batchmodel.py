@@ -24,9 +24,13 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.netdyn.trace import LOST, ProbeTrace
+from repro.units import bits_to_bytes, bytes_to_bits
 
 #: Signature of a batch sampler: rng -> batch size in bits (0 = no batch).
 BatchBitsSampler = Callable[[np.random.Generator], float]
+
+#: Default cross-traffic packet size: 552-byte datagrams, in bits.
+CROSS_PACKET_BITS = bytes_to_bits(552)
 
 
 def geometric_packet_batches(mean_packets: float, packet_bits: float,
@@ -75,8 +79,8 @@ class BatchModelResult:
                         fixed_delay + self.waits + self.probe_bits / self.mu)
         return ProbeTrace.from_samples(
             delta=self.delta, rtts=rtts.tolist(),
-            payload_bytes=max(1, int(self.probe_bits / 8) - 40),
-            wire_bytes=int(self.probe_bits / 8),
+            payload_bytes=max(1, int(bits_to_bytes(self.probe_bits)) - 40),
+            wire_bytes=int(bits_to_bytes(self.probe_bits)),
             meta={"model": "batch", **(meta or {})})
 
 
@@ -106,7 +110,7 @@ class BatchArrivalQueue:
 
     def __init__(self, mu: float, buffer_packets: int, delta: float,
                  probe_bits: float, batch_bits: BatchBitsSampler,
-                 cross_packet_bits: float = 552 * 8,
+                 cross_packet_bits: float = CROSS_PACKET_BITS,
                  offset_fraction: float = 0.5) -> None:
         if mu <= 0 or delta <= 0 or probe_bits <= 0:
             raise ConfigurationError(

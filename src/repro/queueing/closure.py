@@ -29,6 +29,8 @@ from repro.analysis.workload import probe_gap_samples
 from repro.errors import AnalysisError, InsufficientDataError
 from repro.netdyn.trace import ProbeTrace
 from repro.queueing.batchmodel import BatchArrivalQueue, BatchBitsSampler
+from repro.sim.random import RandomStreams
+from repro.units import bytes_to_bits
 
 
 @dataclass
@@ -73,7 +75,7 @@ def fit_batch_distribution(trace: ProbeTrace, mu: float,
     if gaps.size < 10:
         raise InsufficientDataError(
             f"only {gaps.size} probe gaps; need at least 10")
-    probe_bits = trace.wire_bytes * 8
+    probe_bits = bytes_to_bits(trace.wire_bytes)
     service = probe_bits / mu
     idle = np.abs(gaps - trace.delta) <= service / 2.0
     batches = np.maximum(0.0, mu * gaps - probe_bits)
@@ -119,10 +121,11 @@ def closed_loop_comparison(trace: ProbeTrace, mu: float,
     distribution = fit_batch_distribution(trace, mu=mu)
     model = BatchArrivalQueue(mu=mu, buffer_packets=buffer_packets,
                               delta=trace.delta,
-                              probe_bits=trace.wire_bytes * 8,
+                              probe_bits=bytes_to_bits(trace.wire_bytes),
                               batch_bits=distribution.sampler())
     count = probes if probes > 0 else len(trace)
-    result = model.run(count, np.random.default_rng(seed))
+    rng = RandomStreams(seed).get("queueing.closure")
+    result = model.run(count, rng)
     model_trace = result.to_trace(fixed_delay=trace.min_rtt())
 
     measured_compression = detect_compression(trace, mu=mu).pair_fraction

@@ -9,9 +9,9 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.net import icmp
-from repro.net.host import Host
 from repro.net.packet import KIND_ICMP_ECHO_REPLY, Packet
 from repro.net.routing import Network
+from repro.units import seconds_to_ms
 
 
 @dataclass
@@ -44,8 +44,9 @@ class PingResult:
         values = np.array(sorted(self.rtts.values()))
         return (f"{self.sent} packets transmitted, {self.received} received, "
                 f"{self.loss_fraction * 100:.1f}% packet loss\n"
-                f"rtt min/avg/max = {values.min() * 1e3:.1f}/"
-                f"{values.mean() * 1e3:.1f}/{values.max() * 1e3:.1f} ms")
+                f"rtt min/avg/max = {seconds_to_ms(values.min()):.1f}/"
+                f"{seconds_to_ms(values.mean()):.1f}/"
+                f"{seconds_to_ms(values.max()):.1f} ms")
 
 
 def ping(network: Network, source: str, destination: str, count: int = 4,

@@ -11,8 +11,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.errors import NetworkError
-from repro.net.host import Host
 from repro.net.icmp import ErrorContext
 from repro.net.packet import (
     KIND_ICMP_PORT_UNREACHABLE,
@@ -20,6 +18,7 @@ from repro.net.packet import (
     Packet,
 )
 from repro.net.routing import Network
+from repro.units import seconds_to_ms
 
 #: Base destination port, mirroring classic traceroute's 33434.
 PROBE_PORT_BASE = 33434
@@ -40,7 +39,8 @@ class Hop:
         """Render like the classic tool ('5  Ithaca.NY.NSS.NSF.NET  52.1 ms')."""
         if self.node is None:
             return f"{self.index:3d}  *"
-        return f"{self.index:3d}  {self.node}  {self.rtt * 1e3:.1f} ms"
+        return (f"{self.index:3d}  {self.node}  "
+                f"{seconds_to_ms(self.rtt):.1f} ms")
 
 
 def traceroute(network: Network, source: str, destination: str,

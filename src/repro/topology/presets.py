@@ -12,7 +12,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.net.link import Interface
-from repro.net.queue import MODE_BYTES, MODE_PACKETS
+from repro.net.queue import MODE_BYTES
 from repro.net.routing import Network
 from repro.sim.kernel import Simulator
 from repro.topology.builder import LinkSpec, build_path

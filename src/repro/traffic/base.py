@@ -16,6 +16,7 @@ import numpy as np
 from repro.errors import ConfigurationError
 from repro.net.host import Host
 from repro.net.packet import Packet
+from repro.units import bytes_to_bits
 
 #: UDP port conventionally used by traffic sinks.
 SINK_PORT = 9000
@@ -48,7 +49,7 @@ class TrafficSink:
         elapsed = self._last_arrival - self._first_arrival
         if elapsed <= 0:
             return 0.0
-        return self.bytes * 8 / elapsed
+        return bytes_to_bits(self.bytes) / elapsed
 
     def close(self) -> None:
         """Release the UDP port."""
@@ -125,4 +126,4 @@ class TrafficSource:
         """Average offered payload rate in bits/s over ``elapsed`` seconds."""
         if elapsed <= 0:
             return 0.0
-        return self.bytes_sent * 8 / elapsed
+        return bytes_to_bits(self.bytes_sent) / elapsed

@@ -10,12 +10,11 @@ as windows of ``window`` packets sent back-to-back, one window per
 
 from __future__ import annotations
 
-from typing import Optional
-
 from repro.errors import ConfigurationError
 from repro.net.host import Host
 from repro.traffic.base import SINK_PORT, TrafficSource
 from repro.traffic.sizes import FTP_PAYLOAD_BYTES
+from repro.units import bytes_to_bits
 
 
 class FtpSource(TrafficSource):
@@ -87,4 +86,4 @@ class FtpSource(TrafficSource):
     def mean_rate_bps(self) -> float:
         """Long-run offered payload rate implied by the parameters."""
         return (self.session_rate * self.mean_file_packets
-                * self.payload_bytes * 8)
+                * bytes_to_bits(self.payload_bytes))

@@ -18,6 +18,7 @@ from repro.traffic.base import SINK_PORT, TrafficSink, TrafficSource
 from repro.traffic.ftp import FtpSource
 from repro.traffic.sizes import FTP_PAYLOAD_BYTES, telnet_sizes
 from repro.traffic.telnet import TelnetSource
+from repro.units import bytes_to_bits
 
 
 @dataclass
@@ -78,7 +79,8 @@ def attach_internet_mix(sender: Host, receiver: Host, link_rate_bps: float,
     if bulk_fraction > 0:
         ftp_wire_bytes = FTP_PAYLOAD_BYTES + UDP_WIRE_OVERHEAD_BYTES
         ftp_bps = bulk_fraction * target_bps
-        session_rate = ftp_bps / (mean_file_packets * ftp_wire_bytes * 8)
+        session_rate = ftp_bps / (mean_file_packets
+                                  * bytes_to_bits(ftp_wire_bytes))
         ftp_port = base_port
         sinks.append(TrafficSink(receiver, port=ftp_port))
         sources.append(FtpSource(
@@ -91,7 +93,7 @@ def attach_internet_mix(sender: Host, receiver: Host, link_rate_bps: float,
         sizes = telnet_sizes()
         telnet_wire_bytes = sizes.mean() + UDP_WIRE_OVERHEAD_BYTES
         telnet_bps = (1.0 - bulk_fraction) * target_bps
-        rate_pps = telnet_bps / (telnet_wire_bytes * 8)
+        rate_pps = telnet_bps / bytes_to_bits(telnet_wire_bytes)
         telnet_port = base_port + 1
         sinks.append(TrafficSink(receiver, port=telnet_port))
         sources.append(TelnetSource(

@@ -30,6 +30,11 @@ def seconds_to_ms(value: float) -> float:
     return value * 1e3
 
 
+def seconds_to_us(value: float) -> float:
+    """Convert seconds to microseconds."""
+    return value * 1e6
+
+
 def kbps(value: float) -> float:
     """Convert kilobits per second to bits per second."""
     return value * 1e3
@@ -38,6 +43,16 @@ def kbps(value: float) -> float:
 def mbps(value: float) -> float:
     """Convert megabits per second to bits per second."""
     return value * 1e6
+
+
+def bps_to_kbps(value: float) -> float:
+    """Convert bits per second to kilobits per second."""
+    return value / 1e3
+
+
+def bps_to_mbps(value: float) -> float:
+    """Convert bits per second to megabits per second."""
+    return value / 1e6
 
 
 def bytes_to_bits(value: float) -> float:

@@ -1,0 +1,108 @@
+"""The repro-audit command: exit codes, reports, JSON contract."""
+
+import json
+import subprocess
+import sys
+
+import pytest
+
+from repro.cli import main_audit
+from repro.devtools.audit import PARSE_RULE_ID, audit_paths, main
+
+CLEAN = "from repro.units import ms\n\ndelta = ms(50.0)\n"
+
+VIOLATING = ("import random\n"
+             "\n"
+             "def jitter(delta):\n"
+             "    return delta * 1e3 + random.random()\n")
+
+
+@pytest.fixture
+def clean_tree(tmp_path):
+    (tmp_path / "good.py").write_text(CLEAN)
+    return tmp_path
+
+
+@pytest.fixture
+def dirty_tree(tmp_path):
+    (tmp_path / "good.py").write_text(CLEAN)
+    (tmp_path / "bad.py").write_text(VIOLATING)
+    return tmp_path
+
+
+class TestExitCodes:
+    def test_clean_tree_exits_zero(self, clean_tree, capsys):
+        assert main([str(clean_tree)]) == 0
+        assert "0 findings" in capsys.readouterr().out
+
+    def test_violations_exit_nonzero(self, dirty_tree, capsys):
+        assert main([str(dirty_tree)]) == 1
+        out = capsys.readouterr().out
+        assert "bad.py:4" in out  # file:line diagnostics
+        assert "DET001" in out and "UNIT001" in out
+
+    def test_missing_path_exits_two(self, tmp_path, capsys):
+        assert main([str(tmp_path / "nope")]) == 2
+        assert "repro-audit" in capsys.readouterr().err
+
+    def test_unknown_rule_exits_two(self, clean_tree, capsys):
+        assert main(["--select", "BOGUS1", str(clean_tree)]) == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_reintroduced_violation_is_caught(self, clean_tree, capsys):
+        assert main([str(clean_tree)]) == 0
+        (clean_tree / "regress.py").write_text("bits = size * 8\n")
+        assert main([str(clean_tree)]) == 1
+        assert "regress.py:1" in capsys.readouterr().out
+
+
+class TestJsonFormat:
+    def test_json_findings_schema(self, dirty_tree, capsys):
+        assert main(["--format", "json", str(dirty_tree)]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["count"] == len(payload["findings"]) > 0
+        assert payload["files_checked"] == 2
+        for finding in payload["findings"]:
+            assert set(finding) == {"rule", "path", "line", "col", "message"}
+            assert isinstance(finding["line"], int)
+
+    def test_json_clean_tree(self, clean_tree, capsys):
+        assert main(["--format", "json", str(clean_tree)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload == {"count": 0, "files_checked": 1, "findings": []}
+
+
+class TestOptions:
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("DET001", "DET002", "UNIT001", "UNIT002", "SIM001",
+                        "EXC001"):
+            assert rule_id in out
+
+    def test_select_limits_rules(self, dirty_tree, capsys):
+        assert main(["--select", "DET001", str(dirty_tree)]) == 1
+        out = capsys.readouterr().out
+        assert "DET001" in out and "UNIT001" not in out
+
+    def test_single_file_argument(self, dirty_tree):
+        assert main([str(dirty_tree / "good.py")]) == 0
+        assert main([str(dirty_tree / "bad.py")]) == 1
+
+    def test_syntax_error_reported_as_parse_finding(self, tmp_path):
+        (tmp_path / "broken.py").write_text("def broken(:\n")
+        findings, checked = audit_paths([str(tmp_path)])
+        assert checked == 1
+        assert [f.rule for f in findings] == [PARSE_RULE_ID]
+
+
+class TestEntryPoints:
+    def test_cli_wrapper_delegates(self, dirty_tree):
+        assert main_audit([str(dirty_tree)]) == 1
+
+    def test_python_dash_m_execution(self, dirty_tree):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.devtools.audit", str(dirty_tree)],
+            capture_output=True, text=True)
+        assert result.returncode == 1
+        assert "DET001" in result.stdout

@@ -1,0 +1,118 @@
+"""Framework behavior: registry, suppressions, findings, exemptions."""
+
+import pytest
+
+from repro.devtools.core import (
+    Finding,
+    Rule,
+    all_rules,
+    audit_source,
+    get_rule,
+    parse_suppressions,
+    register,
+)
+
+EXPECTED_RULES = {"DET001", "DET002", "UNIT001", "UNIT002", "SIM001",
+                  "EXC001"}
+
+
+class TestRegistry:
+    def test_all_expected_rules_registered(self):
+        assert EXPECTED_RULES <= {rule.rule_id for rule in all_rules()}
+
+    def test_all_rules_sorted_by_id(self):
+        ids = [rule.rule_id for rule in all_rules()]
+        assert ids == sorted(ids)
+
+    def test_get_rule_by_id(self):
+        assert get_rule("UNIT001").rule_id == "UNIT001"
+
+    def test_get_rule_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_rule("NOPE999")
+
+    def test_register_requires_rule_id(self):
+        class Anonymous(Rule):
+            pass
+
+        with pytest.raises(ValueError):
+            register(Anonymous)
+
+    def test_register_rejects_duplicate_id(self):
+        class Duplicate(Rule):
+            rule_id = "UNIT001"
+
+        with pytest.raises(ValueError):
+            register(Duplicate)
+
+    def test_every_rule_has_a_summary(self):
+        for rule in all_rules():
+            assert rule.summary, f"{rule.rule_id} has no summary"
+
+
+class TestSuppressions:
+    def test_plain_line_not_suppressed(self):
+        assert parse_suppressions("x = 1\n") == {}
+
+    def test_bare_noqa_suppresses_all(self):
+        supp = parse_suppressions("x = delta * 1e3  # repro: noqa\n")
+        assert supp == {1: {"*"}}
+
+    def test_noqa_with_single_rule(self):
+        supp = parse_suppressions("x = delta * 1e3  # repro: noqa[UNIT001]\n")
+        assert supp == {1: {"UNIT001"}}
+
+    def test_noqa_with_rule_list(self):
+        supp = parse_suppressions(
+            "bad()  # repro: noqa[UNIT001, DET001]\n")
+        assert supp == {1: {"UNIT001", "DET001"}}
+
+    def test_suppressed_finding_dropped(self):
+        dirty = "x = delta * 1e3\n"
+        clean = "x = delta * 1e3  # repro: noqa[UNIT001]\n"
+        assert audit_source(dirty, path="m.py")
+        assert audit_source(clean, path="m.py") == []
+
+    def test_wrong_rule_id_does_not_suppress(self):
+        src = "x = delta * 1e3  # repro: noqa[DET001]\n"
+        findings = audit_source(src, path="m.py")
+        assert [f.rule for f in findings] == ["UNIT001"]
+
+    def test_suppression_only_covers_its_line(self):
+        src = ("a = delta * 1e3  # repro: noqa[UNIT001]\n"
+               "b = delta * 1e3\n")
+        findings = audit_source(src, path="m.py")
+        assert [(f.rule, f.line) for f in findings] == [("UNIT001", 2)]
+
+
+class TestFinding:
+    def test_format_is_compiler_style(self):
+        finding = Finding(rule="UNIT001", path="src/m.py", line=3, col=7,
+                          message="boom")
+        assert finding.format() == "src/m.py:3:7: UNIT001 boom"
+
+    def test_as_dict_keys_are_stable(self):
+        finding = Finding(rule="DET001", path="p.py", line=1, col=0,
+                          message="m")
+        assert finding.as_dict() == {"rule": "DET001", "path": "p.py",
+                                     "line": 1, "col": 0, "message": "m"}
+
+    def test_findings_sorted_by_location(self):
+        src = ("import random\n"
+               "b = delta * 1e3\n"
+               "a = random.random()\n")
+        findings = audit_source(src, path="m.py")
+        assert [f.line for f in findings] == sorted(f.line for f in findings)
+
+
+class TestExemptions:
+    def test_units_py_exempt_from_unit001(self):
+        src = "def ms(value):\n    return value * 1e-3\n"
+        assert audit_source(src, path="src/repro/units.py") == []
+        assert audit_source(src, path="src/repro/other.py")
+
+    def test_sim_random_exempt_from_det001(self):
+        src = ("import numpy as np\n"
+               "gen = np.random.default_rng(0)\n")
+        assert audit_source(src, path="src/repro/sim/random.py") == []
+        assert audit_source(src, path="src/repro/netdyn/source.py")
