@@ -14,7 +14,10 @@ from __future__ import annotations
 import argparse
 import asyncio
 import sys
-from typing import Optional, Sequence
+from typing import TYPE_CHECKING, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.obs import Observability
 
 from repro.analysis.loss import loss_stats
 from repro.analysis.phase import estimate_bottleneck_mu
@@ -22,7 +25,11 @@ from repro.analysis.timeseries import summarize
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.figures import ALL_FIGURES
 from repro.experiments.report import as_text, run_all
-from repro.experiments.runner import build_scenario, run_experiment
+from repro.experiments.runner import (
+    build_scenario,
+    run_experiment,
+    run_observed_experiment,
+)
 from repro.tools.traceroute import format_route_table, traceroute
 from repro.units import bps_to_kbps, ms, seconds_to_ms
 
@@ -41,12 +48,32 @@ def main_experiment(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--seed", type=int, default=1)
     parser.add_argument("--save-trace", metavar="PATH",
                         help="write the trace as CSV")
+    parser.add_argument("--trace", metavar="FILE",
+                        help="record kernel + packet-lifecycle tracing and "
+                             "write it to FILE (.json = Chrome trace_event, "
+                             "anything else = JSONL)")
+    parser.add_argument("--trace-format", choices=("jsonl", "chrome"),
+                        help="override the trace format inferred from the "
+                             "--trace extension")
+    parser.add_argument("--metrics", action="store_true",
+                        help="print the metrics-registry snapshot after "
+                             "the run")
+    parser.add_argument("--manifest", metavar="PATH",
+                        help="write a run manifest (config, seed, versions, "
+                             "metrics) as JSON")
     args = parser.parse_args(argv)
 
     config = ExperimentConfig(delta=ms(args.delta_ms),
                               duration=args.duration, seed=args.seed,
                               scenario=args.scenario)
-    trace = run_experiment(config)
+    observed = bool(args.trace or args.metrics or args.manifest)
+    obs = None
+    if observed:
+        trace, _scenario, obs = run_observed_experiment(
+            config, kernel_trace=bool(args.trace),
+            lifecycle=bool(args.trace))
+    else:
+        trace = run_experiment(config)
     stats = loss_stats(trace)
     delay = summarize(trace)
     print(f"probes sent: {len(trace)}  (delta = {args.delta_ms:g} ms)")
@@ -63,7 +90,55 @@ def main_experiment(argv: Optional[Sequence[str]] = None) -> int:
     if args.save_trace:
         trace.save_csv(args.save_trace)
         print(f"trace written to {args.save_trace}")
+    if obs is not None:
+        _emit_observability(args, config, obs)
     return 0
+
+
+def _emit_observability(args: argparse.Namespace, config: ExperimentConfig,
+                        obs: "Observability") -> None:
+    """Write/print whatever --trace / --metrics / --manifest asked for."""
+    from pathlib import Path
+
+    from repro.obs import (
+        write_chrome_trace,
+        write_events_jsonl,
+        write_hops_jsonl,
+        write_manifest,
+    )
+
+    if args.trace:
+        path = Path(args.trace)
+        fmt = args.trace_format or (
+            "chrome" if path.suffix == ".json" else "jsonl")
+        assert obs.kernel is not None and obs.lifecycle is not None
+        if fmt == "chrome":
+            write_chrome_trace(path, events=obs.kernel.records,
+                               hops=obs.lifecycle.records)
+            print(f"chrome trace written to {path} "
+                  f"({len(obs.kernel)} events, "
+                  f"{len(obs.lifecycle.records)} hops)")
+        else:
+            write_events_jsonl(obs.kernel.records, path)
+            hops_path = path.with_name(
+                path.stem + "_hops" + (path.suffix or ".jsonl"))
+            write_hops_jsonl(obs.lifecycle.records, hops_path)
+            print(f"kernel trace written to {path} "
+                  f"({len(obs.kernel)} events)")
+            print(f"packet hops written to {hops_path} "
+                  f"({len(obs.lifecycle.records)} hops)")
+    if args.metrics:
+        flat = obs.registry.flat_snapshot()
+        shown = {name: value for name, value in flat.items() if value}
+        print(f"\nmetrics ({len(shown)} non-zero of {len(flat)}):")
+        for name in sorted(shown):
+            value = shown[name]
+            rendered = f"{value:.6g}" if isinstance(value, float) \
+                else str(value)
+            print(f"  {name} = {rendered}")
+    if args.manifest:
+        write_manifest(args.manifest, config=config, metrics=obs.snapshot())
+        print(f"manifest written to {args.manifest}")
 
 
 def main_figures(argv: Optional[Sequence[str]] = None) -> int:

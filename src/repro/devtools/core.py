@@ -152,6 +152,7 @@ def _load_builtin_rules() -> None:
     from repro.devtools import (  # noqa: F401  (imported for side effects)
         rules_determinism,
         rules_errors,
+        rules_obs,
         rules_sim,
         rules_units,
     )

@@ -1,0 +1,44 @@
+"""Observability rule: OBS001 (no ``print`` in library code).
+
+Library modules must report through return values, the metrics registry, or
+the tracers (:mod:`repro.obs`) — never by writing to stdout, which corrupts
+machine-readable CLI output and is invisible to campaign manifests.  The
+only sanctioned print sites are the CLI front-ends (``repro/cli.py``, the
+audit tool's reporter) and the ASCII plotting package, whose entire job is
+terminal output.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import PurePath
+from typing import Iterator
+
+from repro.devtools.core import FileContext, Finding, Rule, register
+
+
+@register
+class NoPrintRule(Rule):
+    """OBS001: ``print()`` calls are banned outside the CLI/plotting."""
+
+    rule_id = "OBS001"
+    summary = ("print() is banned in library code; use return values, "
+               "repro.obs metrics, or tracers (CLI and plotting exempt)")
+    exempt_suffixes = ("repro/cli.py", "repro/devtools/audit.py")
+
+    def applies_to(self, path: str) -> bool:
+        posix = PurePath(path).as_posix()
+        if "/plotting/" in posix or posix.endswith("/plotting"):
+            return False
+        return super().applies_to(path)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Name) and func.id == "print":
+                yield ctx.finding(
+                    self, node,
+                    "print() in library code; return data or register an "
+                    "observability instrument instead")

@@ -32,10 +32,12 @@ from repro.experiments.figures import (
     table3,
 )
 from repro.experiments.report import as_markdown, as_text, run_all
+from repro.experiments.campaign import collect_queue_stats
 from repro.experiments.runner import (
     build_scenario,
     run_experiment,
     run_experiment_with_scenario,
+    run_observed_experiment,
 )
 
 __all__ = [
@@ -68,6 +70,8 @@ __all__ = [
     "as_text",
     "run_all",
     "build_scenario",
+    "collect_queue_stats",
     "run_experiment",
     "run_experiment_with_scenario",
+    "run_observed_experiment",
 ]

@@ -56,8 +56,7 @@ def validate_calibration(seed: int = 1,
     loaded_trace = run_probe_experiment(loaded.network, loaded.source,
                                         loaded.echo, delta=0.05,
                                         duration=duration, start_at=30.0)
-    elapsed = loaded.sim.now
-    utilization = loaded.bottleneck_fwd.utilization_estimate(elapsed)
+    utilization = loaded.bottleneck_fwd.utilization_estimate()
     result.add("bottleneck utilization (fwd, incl. probes)", "~0.75-0.9",
                f"{utilization:.2f}", 0.6 <= utilization <= 0.95)
     max_queueing_ms = seconds_to_ms(

@@ -18,8 +18,10 @@ from repro.analysis.stats import ReplicationSummary, replicate
 from repro.analysis.timeseries import summarize
 from repro.errors import ConfigurationError
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.runner import run_experiment
+from repro.experiments.runner import run_experiment_with_scenario
+from repro.net.routing import Network
 from repro.netdyn.trace import ProbeTrace
+from repro.obs.manifest import write_manifest
 from repro.units import seconds_to_ms
 
 
@@ -70,6 +72,9 @@ class CampaignResult:
     traces: dict[tuple[float, int], ProbeTrace]
     #: delta -> cross-seed metric summary.
     summaries: dict[float, ReplicationSummary]
+    #: (delta, seed) -> {queue label -> drop/occupancy stats}.
+    queue_stats: dict[tuple[float, int], dict[str, dict[str, float]]] = \
+        field(default_factory=dict)
 
     def table(self) -> str:
         """Per-δ metric table with cross-seed means."""
@@ -88,6 +93,46 @@ class CampaignResult:
                 f"{seconds_to_ms(mean_of['mean_rtt']):16.1f} "
                 f"{len(self.spec.seeds):5d}")
         return "\n".join(lines)
+
+    def queue_table(self) -> str:
+        """Per-cell queue report: drops and time-weighted occupancy."""
+        lines = [f"{'delta':>8} {'seed':>5} {'queue':<44} {'drops':>7} "
+                 f"{'loss':>7} {'occ pkts':>9} {'max':>5}"]
+        for (delta, seed), queues in sorted(self.queue_stats.items()):
+            for label, stats in queues.items():
+                lines.append(
+                    f"{seconds_to_ms(delta):6.0f}ms {seed:5d} {label:<44} "
+                    f"{int(stats['drops']):7d} "
+                    f"{stats['loss_fraction']:7.3f} "
+                    f"{stats['occupancy_mean_pkts']:9.2f} "
+                    f"{int(stats['occupancy_max_pkts']):5d}")
+        return "\n".join(lines)
+
+
+def collect_queue_stats(network: Network) -> dict[str, dict[str, float]]:
+    """Drop counts and time-weighted occupancy for every active queue.
+
+    Queues that never saw an arrival are skipped.  Keys are
+    ``"<node>-><peer>"`` interface labels; values are plain floats so the
+    result drops straight into a JSON manifest.
+    """
+    stats: dict[str, dict[str, float]] = {}
+    for node_name in sorted(network.nodes):
+        node = network.nodes[node_name]
+        for peer_name in sorted(node.interfaces):
+            queue = node.interfaces[peer_name].queue
+            if queue.arrivals == 0:
+                continue
+            stats[f"{node_name}->{peer_name}"] = {
+                "arrivals": float(queue.arrivals),
+                "drops": float(queue.drops),
+                "departures": float(queue.departures),
+                "loss_fraction": queue.loss_fraction,
+                "occupancy_mean_pkts": queue.occupancy_packets.mean(),
+                "occupancy_max_pkts": queue.occupancy_packets.maximum(),
+                "occupancy_mean_bytes": queue.occupancy_bytes.mean(),
+            }
+    return stats
 
 
 def _cell_metrics(trace: ProbeTrace) -> dict[str, float]:
@@ -111,6 +156,8 @@ def run_campaign(spec: CampaignSpec) -> CampaignResult:
 
     traces: dict[tuple[float, int], ProbeTrace] = {}
     summaries: dict[float, ReplicationSummary] = {}
+    queue_stats: dict[tuple[float, int], dict[str, dict[str, float]]] = {}
+    cell_metrics: dict[str, dict[str, float]] = {}
     for delta in spec.deltas:
 
         def one_seed(seed: int, _delta=delta) -> dict[str, float]:
@@ -118,15 +165,31 @@ def run_campaign(spec: CampaignSpec) -> CampaignResult:
                                       seed=seed, scenario=spec.scenario,
                                       scenario_kwargs=dict(
                                           spec.scenario_kwargs))
-            trace = run_experiment(config)
+            trace, scenario = run_experiment_with_scenario(config)
             traces[(_delta, seed)] = trace
+            queue_stats[(_delta, seed)] = collect_queue_stats(
+                scenario.network)
             if output_dir:
                 name = f"trace_d{seconds_to_ms(_delta):g}_s{seed}.csv"
                 trace.save_csv(output_dir / name)
-            return _cell_metrics(trace)
+            metrics = _cell_metrics(trace)
+            cell_metrics[f"d{seconds_to_ms(_delta):g}_s{seed}"] = metrics
+            return metrics
 
         summaries[delta] = replicate(one_seed, spec.seeds)
-    return CampaignResult(spec=spec, traces=traces, summaries=summaries)
+
+    result = CampaignResult(spec=spec, traces=traces, summaries=summaries,
+                            queue_stats=queue_stats)
+    if output_dir:
+        write_manifest(
+            output_dir / "manifest.json",
+            config=spec,
+            metrics={"cells": cell_metrics},
+            extra={"queues": {f"d{seconds_to_ms(d):g}_s{s}": stats
+                              for (d, s), stats in queue_stats.items()},
+                   "traces": sorted(p.name
+                                    for p in output_dir.glob("trace_*.csv"))})
+    return result
 
 
 def load_campaign_traces(directory: Union[str, Path]) -> list[ProbeTrace]:

@@ -1,12 +1,26 @@
-"""Run a configured probe experiment and return its trace."""
+"""Run a configured probe experiment and return its trace.
+
+:func:`run_experiment` is the bare driver; :func:`run_observed_experiment`
+runs the same measurement with the :mod:`repro.obs` collectors attached —
+kernel event tracing, packet-lifecycle tracing, and a metrics registry
+covering the whole network plus the probe session — without changing any
+simulated timestamp (same seed ⇒ identical trace either way).
+"""
 
 from __future__ import annotations
 
-from typing import Union
+from typing import Optional, Tuple, Union
 
 from repro.experiments.config import ExperimentConfig
 from repro.netdyn.session import run_probe_experiment
 from repro.netdyn.trace import ProbeTrace
+from repro.obs import (
+    KernelTracer,
+    MetricsRegistry,
+    Observability,
+    PacketLifecycleTracer,
+    instrument_network,
+)
 from repro.topology.inria_umd import InriaUmdScenario, build_inria_umd
 from repro.topology.umd_pitt import UmdPittScenario, build_umd_pitt
 
@@ -53,3 +67,49 @@ def run_experiment_with_scenario(config: ExperimentConfig,
             "mu_bps": scenario.bottleneck_rate_bps,
         })
     return trace, scenario
+
+
+def run_observed_experiment(config: ExperimentConfig,
+                            kernel_trace: bool = False,
+                            trace_capacity: Optional[int] = None,
+                            lifecycle: bool = False,
+                            ) -> Tuple[ProbeTrace, Scenario, Observability]:
+    """Run one experiment with the observability collectors attached.
+
+    The metrics registry (network-wide counters/gauges plus the probe
+    session's counters) is always on — it is pull-based and free.  Kernel
+    event tracing and packet-lifecycle tracing are opt-in because they
+    record per-event/per-hop history.
+
+    Parameters
+    ----------
+    kernel_trace:
+        Attach a :class:`~repro.obs.KernelTracer` to the simulator.
+    trace_capacity:
+        Ring-buffer size for the kernel tracer (None = tracer default).
+    lifecycle:
+        Attach a :class:`~repro.obs.PacketLifecycleTracer` to the network.
+    """
+    scenario = build_scenario(config)
+    registry = MetricsRegistry()
+    kernel = None
+    if kernel_trace:
+        kernel = KernelTracer() if trace_capacity is None \
+            else KernelTracer(capacity=trace_capacity)
+        scenario.sim.attach_observer(kernel)
+    hops = PacketLifecycleTracer(scenario.network) if lifecycle else None
+    instrument_network(registry, scenario.network)
+    obs = Observability(registry=registry, kernel=kernel, lifecycle=hops)
+
+    scenario.start_traffic(at=0.0)
+    trace = run_probe_experiment(
+        scenario.network, scenario.source, scenario.echo,
+        delta=config.delta, count=config.count, start_at=config.warmup,
+        meta={
+            "scenario": config.scenario,
+            "seed": config.seed,
+            "mu_bps": scenario.bottleneck_rate_bps,
+        },
+        registry=registry)
+    obs.close(sim=scenario.sim)
+    return trace, scenario, obs

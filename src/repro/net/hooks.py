@@ -1,0 +1,61 @@
+"""Observer protocols for the network substrate's lifecycle hooks.
+
+Components (:class:`~repro.net.queue.DropTailQueue`,
+:class:`~repro.net.link.Interface`, :class:`~repro.net.node.Node`) each carry
+an optional ``lifecycle`` attribute, ``None`` by default.  When set, the
+component reports packet milestones — created, enqueued, dropped, tx-start,
+tx-done, delivered, received — to the observer.  The contract that keeps the
+simulator honest (see DESIGN.md, "observers never perturb the simulation"):
+
+* observers only *record*; they never schedule events, draw randomness, or
+  mutate packets or component state;
+* a disabled hook costs one ``is not None`` check on the hot path;
+* the concrete implementation lives in :mod:`repro.obs.lifecycle` — the net
+  layer depends only on this protocol, never on ``repro.obs``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Protocol
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports, avoids cycles
+    from repro.net.link import Interface
+    from repro.net.node import Node
+    from repro.net.packet import Packet
+    from repro.net.queue import DropTailQueue
+
+
+class LifecycleObserver(Protocol):
+    """Receives packet-lifecycle milestones from network components."""
+
+    def on_created(self, node: "Node", packet: "Packet") -> None:
+        """A host originated ``packet`` (UDP send or ICMP generation)."""
+        ...
+
+    def on_enqueued(self, queue: "DropTailQueue", packet: "Packet") -> None:
+        """``packet`` was appended to ``queue`` (occupancy includes it)."""
+        ...
+
+    def on_queue_drop(self, queue: "DropTailQueue", packet: "Packet") -> None:
+        """``packet`` overflowed ``queue`` and was tail-dropped."""
+        ...
+
+    def on_tx_start(self, interface: "Interface", packet: "Packet") -> None:
+        """``interface`` began serializing ``packet``."""
+        ...
+
+    def on_tx_done(self, interface: "Interface", packet: "Packet") -> None:
+        """``interface`` finished serializing ``packet`` onto the wire."""
+        ...
+
+    def on_fault_drop(self, interface: "Interface", packet: "Packet") -> None:
+        """A fault model discarded ``packet`` at ``interface``."""
+        ...
+
+    def on_delivered(self, interface: "Interface", packet: "Packet") -> None:
+        """``packet`` crossed ``interface`` and reached the peer node."""
+        ...
+
+    def on_received(self, node: "Node", packet: "Packet") -> None:
+        """``packet`` was consumed by its final destination ``node``."""
+        ...

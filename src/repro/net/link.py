@@ -14,6 +14,7 @@ from typing import TYPE_CHECKING, Optional
 
 from repro.errors import ConfigurationError
 from repro.net.faults import FaultModel
+from repro.net.hooks import LifecycleObserver
 from repro.net.packet import Packet
 from repro.net.queue import DropTailQueue
 from repro.sim.kernel import Simulator
@@ -64,6 +65,11 @@ class Interface:
         self.transmitted = 0
         self.transmitted_bits = 0
         self.fault_drops = 0
+        self._created_at = sim.now
+        self._busy_since = 0.0
+        self._busy_time = 0.0
+        #: Optional packet-lifecycle observer (see repro.net.hooks).
+        self.lifecycle: Optional[LifecycleObserver] = None
 
     # ------------------------------------------------------------------
     def attach_peer(self, peer: "Node") -> None:
@@ -89,6 +95,8 @@ class Interface:
         for fault in self.egress_faults:
             if fault.drops(packet, self._sim):
                 self.fault_drops += 1
+                if self.lifecycle is not None:
+                    self.lifecycle.on_fault_drop(self, packet)
                 return False
         if self._busy:
             return self.queue.enqueue(packet)
@@ -105,6 +113,7 @@ class Interface:
         if packet is None:
             return
         self._busy = True
+        self._busy_since = self._sim.now
         start = self._sim.now
         for fault in self.egress_faults:
             start = max(start, fault.stalled_until(self._sim.now))
@@ -112,14 +121,19 @@ class Interface:
         finish = start + tx_delay
         self._sim.call_at(finish, lambda: self._transmission_done(packet),
                           label=f"tx-done {self.name}")
+        if self.lifecycle is not None:
+            self.lifecycle.on_tx_start(self, packet)
 
     def _transmission_done(self, packet: Packet) -> None:
         self.transmitted += 1
         self.transmitted_bits += packet.size_bits
+        self._busy_time += self._sim.now - self._busy_since
         arrival = self._sim.now + self.prop_delay
         self._sim.call_at(arrival, lambda: self._deliver(packet),
                           label=f"deliver {self.name}")
         self._busy = False
+        if self.lifecycle is not None:
+            self.lifecycle.on_tx_done(self, packet)
         self._start_next()
 
     def _deliver(self, packet: Packet) -> None:
@@ -127,7 +141,11 @@ class Interface:
         for fault in self.ingress_faults:
             if fault.drops(packet, self._sim):
                 self.fault_drops += 1
+                if self.lifecycle is not None:
+                    self.lifecycle.on_fault_drop(self, packet)
                 return
+        if self.lifecycle is not None:
+            self.lifecycle.on_delivered(self, packet)
         self.peer.handle_packet(packet, ingress=self)
 
     # ------------------------------------------------------------------
@@ -136,11 +154,29 @@ class Interface:
         """True while a packet is being serialized."""
         return self._busy
 
-    def utilization_estimate(self, elapsed: float) -> float:
-        """Utilization over ``elapsed`` seconds: transmitted bits / capacity."""
+    @property
+    def busy_time(self) -> float:
+        """Total seconds the transmitter has been occupied so far.
+
+        Includes the in-progress transmission (up to ``sim.now``) and any
+        fault-stall time spent holding a packet.
+        """
+        accumulated = self._busy_time
+        if self._busy:
+            accumulated += self._sim.now - self._busy_since
+        return accumulated
+
+    def utilization_estimate(self) -> float:
+        """Fraction of time the transmitter was busy since it was created.
+
+        Tracked internally from the interface's own busy periods, so no
+        caller-supplied window is needed and idle periods (before first
+        use or between bursts) are accounted correctly.
+        """
+        elapsed = self._sim.now - self._created_at
         if elapsed <= 0:
             return 0.0
-        return min(1.0, self.transmitted_bits / (self.rate_bps * elapsed))
+        return min(1.0, self.busy_time / elapsed)
 
     def __repr__(self) -> str:
         return (f"<Interface {self.name} {self.rate_bps:.0f}bps "

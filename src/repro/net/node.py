@@ -12,6 +12,7 @@ from typing import Callable, Optional
 
 from repro.errors import RoutingError
 from repro.net import icmp
+from repro.net.hooks import LifecycleObserver
 from repro.net.link import Interface
 from repro.net.packet import (
     KIND_ICMP_ECHO,
@@ -50,6 +51,8 @@ class Node:
         self.forwarded = 0
         self.no_route_drops = 0
         self.ttl_drops = 0
+        #: Optional packet-lifecycle observer (see repro.net.hooks).
+        self.lifecycle: Optional[LifecycleObserver] = None
 
     # ------------------------------------------------------------------
     # Topology wiring (used by Network)
@@ -81,6 +84,8 @@ class Node:
         if packet.record is not None:
             packet.record.append(self.name)
         if packet.dst == self.name:
+            if self.lifecycle is not None:
+                self.lifecycle.on_received(self, packet)
             self.deliver_local(packet)
             return
         packet.ttl -= 1
@@ -93,6 +98,8 @@ class Node:
 
     def originate(self, packet: Packet) -> None:
         """Send a locally generated packet (no TTL decrement at hop zero)."""
+        if self.lifecycle is not None:
+            self.lifecycle.on_created(self, packet)
         if packet.dst == self.name:
             self.deliver_local(packet)
             return

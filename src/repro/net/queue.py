@@ -11,6 +11,7 @@ from collections import deque
 from typing import Optional
 
 from repro.errors import ConfigurationError
+from repro.net.hooks import LifecycleObserver
 from repro.net.packet import Packet
 from repro.sim.kernel import Simulator
 from repro.sim.monitor import TimeWeightedValue
@@ -53,6 +54,8 @@ class DropTailQueue:
         self.departures = 0
         self.occupancy_packets = TimeWeightedValue(sim, 0.0)
         self.occupancy_bytes = TimeWeightedValue(sim, 0.0)
+        #: Optional packet-lifecycle observer (see repro.net.hooks).
+        self.lifecycle: Optional[LifecycleObserver] = None
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -77,10 +80,14 @@ class DropTailQueue:
         self.arrivals += 1
         if self.would_drop(packet):
             self.drops += 1
+            if self.lifecycle is not None:
+                self.lifecycle.on_queue_drop(self, packet)
             return False
         self._packets.append(packet)
         self._bytes += packet.size_bytes
         self._record_occupancy()
+        if self.lifecycle is not None:
+            self.lifecycle.on_enqueued(self, packet)
         return True
 
     def dequeue(self) -> Optional[Packet]:

@@ -9,7 +9,7 @@ the probe train plus a drain period, and returns the resulting
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.errors import ConfigurationError
 from repro.net.routing import Network
@@ -18,6 +18,9 @@ from repro.netdyn.echo import ECHO_PORT, EchoAgent
 from repro.netdyn.source import SINK_PORT, SourceAgent
 from repro.netdyn.trace import ProbeTrace
 from repro.units import seconds_to_ms
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.obs.registry import MetricsRegistry
 
 #: Extra simulated time after the last probe is sent, letting stragglers
 #: return before they are declared lost.  Generous relative to any RTT the
@@ -31,7 +34,9 @@ def run_probe_experiment(network: Network, source: str, echo: str,
                          payload_bytes: int = packetfmt.PROBE_PAYLOAD_BYTES,
                          drain: float = DEFAULT_DRAIN,
                          start_at: float = 0.0,
-                         meta: Optional[dict] = None) -> ProbeTrace:
+                         meta: Optional[dict] = None,
+                         registry: Optional["MetricsRegistry"] = None,
+                         ) -> ProbeTrace:
     """Run a NetDyn experiment and return its trace.
 
     Exactly one of ``count`` and ``duration`` must be given; ``duration``
@@ -50,6 +55,11 @@ def run_probe_experiment(network: Network, source: str, echo: str,
     start_at:
         Simulation time of the first probe.  Set it past zero to let cross
         traffic reach steady state first (warm-up).
+    registry:
+        Optional :class:`~repro.obs.MetricsRegistry`; when given, the
+        session registers its probe counters (``netdyn/probes_sent``,
+        ``duplicates``, ``reordered``, ``echo_forwarded``) as pull-based
+        instruments, so they appear in the run's metrics snapshot.
     """
     if (count is None) == (duration is None):
         raise ConfigurationError("give exactly one of count / duration")
@@ -65,6 +75,19 @@ def run_probe_experiment(network: Network, source: str, echo: str,
                         payload_bytes=payload_bytes)
     echoer = EchoAgent(echo_host, destination=source,
                        destination_port=SINK_PORT)
+    if registry is not None:
+        registry.counter("netdyn/probes_sent",
+                         source=lambda: agent.sent,
+                         description="probes emitted by the source agent")
+        registry.counter("netdyn/duplicates",
+                         source=lambda: agent.duplicates,
+                         description="duplicate probe returns discarded")
+        registry.counter("netdyn/reordered",
+                         source=lambda: agent.reordered,
+                         description="probes that returned out of order")
+        registry.counter("netdyn/echo_forwarded",
+                         source=lambda: echoer.echoed,
+                         description="probes bounced back by the echo agent")
     agent.start(at=start_at)
 
     end_time = start_at + count * delta + drain

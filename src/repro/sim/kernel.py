@@ -12,11 +12,26 @@ the hot path free of generator overhead, and determinism is easy to audit.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Optional
+from time import perf_counter
+from typing import Any, Callable, Optional, Protocol
 
 from repro.errors import SchedulingError, SimulationError
 from repro.sim.events import DEFAULT_PRIORITY, Event, EventQueue
 from repro.sim.random import RandomStreams
+
+
+class KernelObserver(Protocol):
+    """What the kernel needs from an attached tracer (see repro.obs).
+
+    Observers are passive: the kernel feeds them one record per executed
+    event and never reads anything back, so an attached observer cannot
+    change the simulation's trajectory.
+    """
+
+    def on_event(self, time: float, label: str, priority: int,
+                 wall_seconds: float) -> None:
+        """Called after each event fires; ``wall_seconds`` is host CPU cost."""
+        ...
 
 
 class Simulator:
@@ -45,6 +60,7 @@ class Simulator:
         self._running = False
         self._stopped = False
         self._events_executed = 0
+        self._observer: Optional[KernelObserver] = None
         self.streams = RandomStreams(seed)
 
     # ------------------------------------------------------------------
@@ -59,6 +75,30 @@ class Simulator:
     def events_executed(self) -> int:
         """Number of events executed so far (diagnostics, ablations)."""
         return self._events_executed
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    @property
+    def observer(self) -> Optional[KernelObserver]:
+        """The attached kernel observer, or None when tracing is off."""
+        return self._observer
+
+    def attach_observer(self, observer: KernelObserver) -> None:
+        """Attach an event tracer (see :mod:`repro.obs`).
+
+        The observer is consulted once per executed event with its simulated
+        time, label, priority, and wall-clock cost.  It takes effect at the
+        next :meth:`run` call; the untraced hot path is untouched while no
+        observer is attached.
+        """
+        if self._observer is not None:
+            raise SimulationError("an observer is already attached")
+        self._observer = observer
+
+    def detach_observer(self) -> None:
+        """Remove the attached observer (no-op when none is attached)."""
+        self._observer = None
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -102,6 +142,11 @@ class Simulator:
             raise SimulationError("run() called re-entrantly")
         self._running = True
         self._stopped = False
+        # The observer is bound once per run() call: the untraced loop stays
+        # the seed-identical hot path, and the traced loop differs only by
+        # wall-clock bookkeeping around event.action() — simulated state
+        # (clock, queue, streams) is advanced identically in both.
+        observer = self._observer
         try:
             while not self._stopped:
                 next_time = self._queue.peek_time()
@@ -113,7 +158,14 @@ class Simulator:
                 assert event is not None  # peek_time said there was one
                 self._now = event.time
                 self._events_executed += 1
-                event.action()
+                if observer is None:
+                    event.action()
+                else:
+                    started = perf_counter()
+                    event.action()
+                    observer.on_event(event.time, event.label,
+                                      event.priority,
+                                      perf_counter() - started)
             if until is not None and self._now < until and not self._stopped:
                 self._now = until
         finally:

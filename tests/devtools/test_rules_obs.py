@@ -1,0 +1,49 @@
+"""OBS001: no print() in library code."""
+
+from repro.devtools.core import audit_source, get_rule
+
+
+def findings(source, path="src/repro/net/link.py"):
+    return audit_source(source, path=path, rules=[get_rule("OBS001")])
+
+
+class TestObs001:
+    def test_print_flagged(self):
+        result = findings("print('debug')\n")
+        assert len(result) == 1
+        assert result[0].rule == "OBS001"
+        assert "print()" in result[0].message
+
+    def test_print_in_function_flagged(self):
+        result = findings("def f():\n    print(1, 2)\n")
+        assert [f.line for f in result] == [2]
+
+    def test_non_print_calls_clean(self):
+        assert findings("import logging\nlogging.warning('x')\n") == []
+
+    def test_shadowed_attribute_print_not_flagged(self):
+        # console.print(...) is not the builtin.
+        assert findings("console.print('rich output')\n") == []
+
+    def test_docstring_mentioning_print_clean(self):
+        assert findings('"""Use print() sparingly."""\n') == []
+
+    def test_cli_exempt(self):
+        assert findings("print('usage: ...')\n",
+                        path="src/repro/cli.py") == []
+
+    def test_audit_reporter_exempt(self):
+        assert findings("print('finding')\n",
+                        path="src/repro/devtools/audit.py") == []
+
+    def test_plotting_package_exempt(self):
+        assert findings("print('ascii art')\n",
+                        path="src/repro/plotting/render.py") == []
+
+    def test_noqa_suppression(self):
+        assert findings("print('x')  # repro: noqa[OBS001]\n") == []
+
+    def test_registered_in_default_rule_set(self):
+        result = audit_source("print('oops')\n",
+                              path="src/repro/net/queue.py")
+        assert any(f.rule == "OBS001" for f in result)

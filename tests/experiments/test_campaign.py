@@ -63,6 +63,43 @@ class TestRunCampaign:
         result = run_campaign(small_spec())
         assert "±" not in result.table()
 
+    def test_queue_stats_collected_per_cell(self):
+        spec = small_spec(deltas=(0.1,), seeds=(1, 2))
+        result = run_campaign(spec)
+        assert set(result.queue_stats) == {(0.1, 1), (0.1, 2)}
+        stats = result.queue_stats[(0.1, 1)]
+        assert stats  # at least one queue saw traffic
+        for queue_stats in stats.values():
+            assert queue_stats["arrivals"] > 0
+            assert queue_stats["drops"] >= 0
+            assert 0.0 <= queue_stats["loss_fraction"] <= 1.0
+            assert queue_stats["occupancy_max_pkts"] >= \
+                queue_stats["occupancy_mean_pkts"] >= 0.0
+
+    def test_queue_table_renders(self):
+        result = run_campaign(small_spec())
+        table = result.queue_table()
+        assert "drops" in table
+        assert "100ms" in table
+
+    def test_manifest_written_with_campaign(self, tmp_path):
+        from repro.obs import read_manifest
+        spec = small_spec(output_dir=tmp_path)
+        run_campaign(spec)
+        manifest = read_manifest(tmp_path / "manifest.json")
+        assert manifest["config"]["deltas"] == [0.1]
+        assert manifest["config"]["seeds"] == [1]
+        assert "repro" in manifest["versions"]
+        assert "d100_s1" in manifest["metrics"]["cells"]
+        assert "ulp" in manifest["metrics"]["cells"]["d100_s1"]
+        assert manifest["extra"]["traces"] == ["trace_d100_s1.csv"]
+        queues = manifest["extra"]["queues"]["d100_s1"]
+        assert any(stats["arrivals"] > 0 for stats in queues.values())
+
+    def test_no_manifest_without_output_dir(self):
+        result = run_campaign(small_spec())
+        assert result.spec.output_dir is None  # nothing written anywhere
+
     def test_umd_pitt_campaign(self):
         spec = CampaignSpec(deltas=(0.05,), seeds=(1,), duration=5.0,
                             scenario="umd-pitt",

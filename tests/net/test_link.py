@@ -66,7 +66,15 @@ class TestSerialization:
         _, a, b, iface = make_link(sim, rate_bps=8000.0)
         a.send_udp("b", 9, 9, payload_bytes=60)
         sim.run(until=0.2)
-        assert iface.utilization_estimate(0.2) == pytest.approx(0.5)
+        assert iface.utilization_estimate() == pytest.approx(0.5)
+        assert iface.busy_time == pytest.approx(0.1)
+
+    def test_utilization_counts_in_progress_transmission(self, sim):
+        _, a, b, iface = make_link(sim, rate_bps=8000.0)
+        a.send_udp("b", 9, 9, payload_bytes=60)
+        sim.run(until=0.05)  # mid-serialization of the 0.1 s packet
+        assert iface.busy_time == pytest.approx(0.05)
+        assert iface.utilization_estimate() == pytest.approx(1.0)
 
 
 class TestQueueing:

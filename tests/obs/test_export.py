@@ -1,0 +1,140 @@
+"""Exporters and manifests: JSONL/Chrome round-trips, Observability.save."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    EventRecord,
+    HopRecord,
+    KernelTracer,
+    Observability,
+    build_manifest,
+    read_chrome_trace,
+    read_events_jsonl,
+    read_hops_jsonl,
+    read_manifest,
+    write_chrome_trace,
+    write_events_jsonl,
+    write_hops_jsonl,
+    write_manifest,
+    write_profiles_json,
+)
+from repro.sim import Simulator
+
+EVENTS = [
+    EventRecord(time=0.5, label="tx-done a->b", priority=10,
+                wall_seconds=2e-6),
+    EventRecord(time=1.25, label="", priority=0, wall_seconds=5e-7),
+]
+HOPS = [
+    HopRecord(time=0.5, uid=7, event="enqueued", place="a->b", kind="udp",
+              src="a", dst="b", queue_len=3),
+    HopRecord(time=0.6, uid=7, event="received", place="b", kind="udp",
+              src="a", dst="b"),
+]
+
+
+class TestJsonlRoundTrip:
+    def test_events(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        assert write_events_jsonl(EVENTS, path) == 2
+        assert read_events_jsonl(path) == EVENTS
+
+    def test_hops(self, tmp_path):
+        path = tmp_path / "hops.jsonl"
+        assert write_hops_jsonl(HOPS, path) == 2
+        assert read_hops_jsonl(path) == HOPS
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        write_events_jsonl(EVENTS, path)
+        path.write_text(path.read_text() + "\n\n")
+        assert read_events_jsonl(path) == EVENTS
+
+
+class TestChromeTrace:
+    def test_round_trip_and_layout(self, tmp_path):
+        path = tmp_path / "trace.json"
+        count = write_chrome_trace(path, events=EVENTS, hops=HOPS)
+        assert count == 4
+        document = json.loads(path.read_text())
+        assert document["displayTimeUnit"] == "ms"
+        rows = read_chrome_trace(path)
+        kernel = [row for row in rows if row["cat"] == "kernel"]
+        packet = [row for row in rows if row["cat"] == "packet"]
+        assert [row["ph"] for row in kernel] == ["X", "X"]
+        assert [row["ph"] for row in packet] == ["i", "i"]
+        # Simulated seconds land on the µs timeline.
+        assert kernel[0]["ts"] == pytest.approx(0.5e6)
+        assert kernel[0]["dur"] == pytest.approx(2.0)
+        assert kernel[1]["name"] == "<unlabelled>"
+        assert packet[0]["tid"] == "a->b"
+        assert packet[0]["args"]["queue_len"] == 3
+
+    def test_events_only(self, tmp_path):
+        path = tmp_path / "trace.json"
+        assert write_chrome_trace(path, events=EVENTS) == 2
+
+
+class TestProfilesJson:
+    def test_document_shape(self, tmp_path):
+        sim = Simulator(seed=1)
+        tracer = KernelTracer()
+        sim.attach_observer(tracer)
+        sim.call_at(1.0, lambda: None, label="tick")
+        sim.run()
+        path = tmp_path / "profiles.json"
+        write_profiles_json(tracer, path)
+        document = json.loads(path.read_text())
+        assert document["events_seen"] == 1
+        assert document["profiles"][0]["label"] == "tick"
+        assert document["profiles"][0]["count"] == 1
+
+
+class TestManifest:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "manifest.json"
+        written = write_manifest(path, config={"delta": 0.05}, seed=3,
+                                 metrics={"net": {"x": 1}},
+                                 extra={"note": "hello"})
+        assert read_manifest(path) == written
+        assert written["seed"] == 3
+        assert written["config"] == {"delta": 0.05}
+        assert "repro" in written["versions"]
+        assert "python" in written["versions"]
+
+    def test_dataclass_config_serialized(self):
+        from repro.experiments.config import ExperimentConfig
+        manifest = build_manifest(
+            config=ExperimentConfig(delta=0.1, duration=1.0, seed=2))
+        assert manifest["config"]["delta"] == 0.1
+        assert manifest["config"]["seed"] == 2
+
+    def test_same_inputs_byte_identical(self, tmp_path):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        write_manifest(a, config={"k": 1}, seed=5)
+        write_manifest(b, config={"k": 1}, seed=5)
+        assert a.read_bytes() == b.read_bytes()
+
+
+class TestObservabilitySave:
+    def test_full_bundle_writes_every_artifact(self, tmp_path):
+        from repro.topology.inria_umd import build_inria_umd
+        scenario = build_inria_umd(seed=1)
+        obs = Observability.full(scenario.sim, scenario.network)
+        scenario.start_traffic()
+        scenario.sim.run(until=1.0)
+        obs.close(sim=scenario.sim)
+        written = obs.save(tmp_path / "out")
+        names = sorted(path.name for path in written)
+        assert names == ["events.jsonl", "hops.jsonl", "profiles.json",
+                         "trace.json"]
+        assert read_events_jsonl(tmp_path / "out" / "events.jsonl")
+
+    def test_metrics_only_bundle_writes_nothing(self, tmp_path):
+        from repro.topology.inria_umd import build_inria_umd
+        scenario = build_inria_umd(seed=1)
+        obs = Observability.metrics_only(scenario.network)
+        assert obs.save(tmp_path) == []
+        assert obs.snapshot()

@@ -1,0 +1,132 @@
+"""Metrics registry: instruments, snapshots, and network instrumentation."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import MetricsRegistry, instrument_network, instrument_traffic
+from repro.obs.registry import SEPARATOR
+from repro.topology.inria_umd import build_inria_umd
+
+
+class TestInstruments:
+    def test_owned_counter(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("jobs/done")
+        counter.increment()
+        counter.increment(by=4)
+        assert counter.value() == 5
+
+    def test_bound_counter_reads_source(self):
+        registry = MetricsRegistry()
+        state = {"n": 0}
+        counter = registry.counter("jobs/seen", source=lambda: state["n"])
+        state["n"] = 7
+        assert counter.value() == 7
+
+    def test_bound_counter_rejects_increment(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("jobs/seen", source=lambda: 1)
+        with pytest.raises(ConfigurationError):
+            counter.increment()
+
+    def test_gauge(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("queue/depth", source=lambda: 3)
+        assert gauge.value() == 3.0
+
+    def test_histogram_buckets(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("rtt", bounds=(0.1, 0.2, 0.5))
+        for sample in (0.05, 0.15, 0.15, 0.4, 9.0):
+            hist.observe(sample)
+        value = hist.value()
+        assert value["count"] == 5
+        assert value["bucket_counts"] == [1, 2, 1, 1]
+        assert value["max"] == 9.0
+
+    def test_histogram_bounds_must_ascend(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ConfigurationError):
+            registry.histogram("bad", bounds=(0.5, 0.1))
+        with pytest.raises(ConfigurationError):
+            registry.histogram("empty", bounds=())
+
+
+class TestRegistry:
+    def test_duplicate_names_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("a/b")
+        with pytest.raises(ConfigurationError):
+            registry.gauge("a/b", source=lambda: 0.0)
+
+    def test_lookup_and_contains(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("x/y/z")
+        assert "x/y/z" in registry
+        assert registry.get("x/y/z") is counter
+        assert len(registry) == 1
+        assert registry.names() == ["x/y/z"]
+
+    def test_snapshot_nests_on_separator(self):
+        registry = MetricsRegistry()
+        registry.counter("net/a/sent", source=lambda: 1)
+        registry.counter("net/a/lost", source=lambda: 2)
+        registry.gauge("net/b/util", source=lambda: 0.5)
+        assert SEPARATOR == "/"
+        assert registry.snapshot() == {
+            "net": {"a": {"sent": 1, "lost": 2}, "b": {"util": 0.5}}}
+
+    def test_dotted_hostnames_stay_one_level(self):
+        registry = MetricsRegistry()
+        registry.counter("net/icm-sophia.icp.net/forwarded",
+                         source=lambda: 9)
+        snap = registry.snapshot()
+        assert snap["net"]["icm-sophia.icp.net"]["forwarded"] == 9
+
+
+class TestInstrumentNetwork:
+    @pytest.fixture(scope="class")
+    def scenario(self):
+        scenario = build_inria_umd(seed=4)
+        scenario.start_traffic()
+        scenario.sim.run(until=10.0)
+        return scenario
+
+    def test_standard_instruments_registered(self, scenario):
+        registry = MetricsRegistry()
+        instrument_network(registry, scenario.network)
+        names = registry.names()
+        assert any(name.endswith("/queue/drops") for name in names)
+        assert any(name.endswith("/utilization") for name in names)
+        assert any(name.endswith("/forwarded") for name in names)
+
+    def test_snapshot_reflects_simulated_traffic(self, scenario):
+        registry = MetricsRegistry()
+        instrument_network(registry, scenario.network)
+        flat = registry.flat_snapshot()
+        assert sum(value for name, value in flat.items()
+                   if name.endswith("/transmitted")) > 0
+
+    def test_utilization_gauge_matches_interface(self, scenario):
+        registry = MetricsRegistry()
+        instrument_network(registry, scenario.network)
+        iface = scenario.bottleneck_fwd
+        name = (f"net/{iface.node.name}/if/{iface.peer.name}/utilization")
+        assert registry.get(name).value() == iface.utilization_estimate()
+        assert 0.0 < iface.utilization_estimate() <= 1.0
+
+    def test_instrumentation_after_run_sees_final_counts(self, scenario):
+        # Pull-based: registering after the run reads the same state.
+        before = MetricsRegistry()
+        instrument_network(before, scenario.network)
+        after = MetricsRegistry()
+        instrument_network(after, scenario.network)
+        assert before.flat_snapshot() == after.flat_snapshot()
+
+    def test_instrument_traffic(self, scenario):
+        registry = MetricsRegistry()
+        instrument_traffic(registry, scenario.mix_fwd.sources)
+        flat = registry.flat_snapshot()
+        sent = [value for name, value in flat.items()
+                if name.endswith("/packets_sent")]
+        assert sent and all(value > 0 for value in sent)

@@ -30,6 +30,65 @@ class TestExperimentCli:
                                     "--scenario", "umd-pitt"])
         assert code == 0
 
+    def test_trace_jsonl(self, tmp_path, capsys):
+        path = tmp_path / "events.jsonl"
+        code = cli.main_experiment(["--delta-ms", "100", "--duration", "5",
+                                    "--trace", str(path)])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "kernel trace written to" in output
+        from repro.obs import read_events_jsonl, read_hops_jsonl
+        assert read_events_jsonl(path)
+        assert read_hops_jsonl(tmp_path / "events_hops.jsonl")
+
+    def test_trace_chrome_inferred_from_extension(self, tmp_path, capsys):
+        path = tmp_path / "trace.json"
+        code = cli.main_experiment(["--delta-ms", "100", "--duration", "5",
+                                    "--trace", str(path)])
+        assert code == 0
+        assert "chrome trace written to" in capsys.readouterr().out
+        from repro.obs import read_chrome_trace
+        rows = read_chrome_trace(path)
+        assert {row["cat"] for row in rows} == {"kernel", "packet"}
+
+    def test_trace_format_override(self, tmp_path, capsys):
+        path = tmp_path / "trace.json"
+        code = cli.main_experiment(["--delta-ms", "100", "--duration", "5",
+                                    "--trace", str(path),
+                                    "--trace-format", "jsonl"])
+        assert code == 0
+        from repro.obs import read_events_jsonl
+        assert read_events_jsonl(path)  # JSONL despite the .json suffix
+
+    def test_metrics_flag(self, capsys):
+        code = cli.main_experiment(["--delta-ms", "100", "--duration", "5",
+                                    "--metrics"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "metrics (" in output
+        assert "netdyn/probes_sent = 50" in output
+
+    def test_manifest_flag(self, tmp_path, capsys):
+        path = tmp_path / "manifest.json"
+        code = cli.main_experiment(["--delta-ms", "100", "--duration", "5",
+                                    "--seed", "2", "--manifest", str(path)])
+        assert code == 0
+        from repro.obs import read_manifest
+        manifest = read_manifest(path)
+        assert manifest["config"]["seed"] == 2
+        assert manifest["metrics"]["netdyn"]["probes_sent"] == 50
+
+    def test_observed_run_matches_bare_run(self, tmp_path, capsys):
+        bare = tmp_path / "bare.csv"
+        observed = tmp_path / "observed.csv"
+        cli.main_experiment(["--delta-ms", "100", "--duration", "10",
+                             "--seed", "5", "--save-trace", str(bare)])
+        cli.main_experiment(["--delta-ms", "100", "--duration", "10",
+                             "--seed", "5", "--save-trace", str(observed),
+                             "--trace", str(tmp_path / "t.json"),
+                             "--metrics"])
+        assert bare.read_bytes() == observed.read_bytes()
+
 
 class TestFiguresCli:
     def test_single_figure(self, capsys):
