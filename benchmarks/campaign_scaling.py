@@ -1,0 +1,88 @@
+"""Measure campaign scaling across workers and write ``BENCH_campaign.json``.
+
+Run directly (CI's campaign-smoke job does)::
+
+    python benchmarks/campaign_scaling.py [OUTPUT.json]
+
+Times the same fixed (δ × seed) grid serially and with 2 and 4 worker
+processes.  Cells are independent simulations, so on an unloaded machine
+with >= 4 CPUs the 4-worker run should beat serial by well over 1.5×;
+``benchmarks/test_perf_campaign.py`` asserts exactly that (and skips the
+assertion, but still records the numbers, on smaller machines where the
+hardware cannot show a speedup).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from time import perf_counter
+
+from repro.experiments.campaign import CampaignSpec, run_campaign
+
+#: The fixed benchmark grid: 2 deltas x 4 seeds = 8 cells, sized so each
+#: cell costs enough wall time that pool start-up cost is noise.
+BENCH_GRID = dict(
+    deltas=(0.02, 0.05),
+    seeds=(1, 2, 3, 4),
+    duration=30.0,
+    scenario="inria-umd",
+    scenario_kwargs={"utilization_fwd": 0.5, "utilization_rev": 0.5},
+)
+
+WORKER_COUNTS = (1, 2, 4)
+
+
+def available_cpus() -> int:
+    if hasattr(os, "sched_getaffinity"):
+        return len(os.sched_getaffinity(0))
+    return os.cpu_count() or 1
+
+
+def time_campaign(workers: int) -> float:
+    """Wall seconds for one full run of the benchmark grid."""
+    spec = CampaignSpec(**BENCH_GRID)
+    started = perf_counter()
+    run_campaign(spec, workers=workers)
+    return perf_counter() - started
+
+
+def collect() -> dict:
+    """Run the grid at every worker count and derive speedups."""
+    cells = len(BENCH_GRID["deltas"]) * len(BENCH_GRID["seeds"])
+    document = {
+        "grid_cells": cells,
+        "cell_duration_seconds": BENCH_GRID["duration"],
+        "cpus": available_cpus(),
+        "wall_seconds": {},
+        "speedup_vs_serial": {},
+    }
+    for workers in WORKER_COUNTS:
+        document["wall_seconds"][str(workers)] = time_campaign(workers)
+    serial = document["wall_seconds"]["1"]
+    for workers in WORKER_COUNTS:
+        document["speedup_vs_serial"][str(workers)] = \
+            serial / document["wall_seconds"][str(workers)]
+    return document
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    output = argv[0] if argv else "BENCH_campaign.json"
+    document = collect()
+    with open(output, "w") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"campaign scaling on {document['cpus']} CPU(s), "
+          f"{document['grid_cells']} cells:")
+    for workers in WORKER_COUNTS:
+        wall = document["wall_seconds"][str(workers)]
+        speedup = document["speedup_vs_serial"][str(workers)]
+        print(f"  workers={workers}: {wall:7.2f}s  ({speedup:.2f}x)")
+    print(f"written to {output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

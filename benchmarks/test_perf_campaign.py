@@ -1,0 +1,58 @@
+"""Campaign parallelization benchmarks.
+
+The governing requirement of the parallel executor: fanning the (δ × seed)
+grid over worker processes changes *nothing* about the results (that is
+tier-1 tested in ``tests/experiments/test_campaign.py``) and makes the
+sweep substantially faster on multi-core hardware.  This module records
+the scaling numbers in ``BENCH_campaign.json`` and asserts the >= 1.5×
+4-worker speedup wherever the hardware can express it.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+from campaign_scaling import available_cpus, collect, time_campaign
+
+SPEEDUP_FLOOR = 1.5
+
+
+@pytest.fixture(scope="module")
+def scaling_document():
+    """Run the full scaling grid once and persist BENCH_campaign.json."""
+    document = collect()
+    out = Path(__file__).resolve().parent / "BENCH_campaign.json"
+    out.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    return document
+
+
+def test_scaling_document_complete(scaling_document):
+    assert scaling_document["grid_cells"] == 8
+    assert set(scaling_document["wall_seconds"]) == {"1", "2", "4"}
+    assert all(wall > 0
+               for wall in scaling_document["wall_seconds"].values())
+    assert scaling_document["speedup_vs_serial"]["1"] == pytest.approx(1.0)
+
+
+def test_speedup_at_4_workers(scaling_document):
+    if scaling_document["cpus"] < 4:
+        pytest.skip(f"speedup floor needs >= 4 CPUs, have "
+                    f"{scaling_document['cpus']}")
+    assert scaling_document["speedup_vs_serial"]["4"] > SPEEDUP_FLOOR
+
+
+def test_parallel_not_pathologically_slower():
+    """Even on small machines the pool must not collapse throughput.
+
+    Guards the fan-out overhead (process start-up, spec pickling, trace
+    pickling) rather than the speedup: with 2 workers the same grid may
+    not run any meaningful factor *slower* than serial, whatever the CPU
+    count.
+    """
+    serial = time_campaign(1)
+    parallel = time_campaign(2)
+    budget = 1.5 if available_cpus() == 1 else 1.2
+    assert parallel < serial * budget, \
+        f"2-worker run {parallel:.2f}s vs serial {serial:.2f}s"

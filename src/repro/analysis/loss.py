@@ -183,6 +183,9 @@ def runs_test(trace: ProbeTrace) -> RunsTestResult:
     if variance <= 0:
         raise InsufficientDataError("degenerate runs-test variance")
     z = (runs - expected) / math.sqrt(variance)
-    p_value = 2.0 * (1.0 - stats.norm.cdf(abs(z)))
+    # sf(|z|) keeps precision in the far tail where 1 - cdf(|z|) rounds
+    # to exactly 0.0 (|z| >~ 8), which would turn a strong rejection into
+    # an apparent p = 0.
+    p_value = 2.0 * stats.norm.sf(abs(z))
     return RunsTestResult(runs=runs, expected=expected, z=z,
                           p_value=float(p_value))

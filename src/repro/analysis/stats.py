@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Callable, Sequence
+from typing import Callable, Mapping, Sequence, Union
 
 import numpy as np
 from scipy import stats as scipy_stats
@@ -117,19 +117,34 @@ class ReplicationSummary:
         return "\n".join(lines)
 
 
-def replicate(metric_fn: Callable[[int], dict[str, float]],
+def replicate(metric_fn: Union[Callable[[int], dict[str, float]],
+                               Mapping[int, dict[str, float]]],
               seeds: Sequence[int]) -> ReplicationSummary:
-    """Run ``metric_fn(seed)`` for every seed and collect its metrics.
+    """Collect per-seed metrics into a cross-seed summary.
 
-    ``metric_fn`` returns a flat dict of metric name -> value; every
-    replication must return the same keys.
+    ``metric_fn`` is either a callable run as ``metric_fn(seed)`` for every
+    seed, or a mapping ``seed -> metrics`` of precomputed values (the path
+    parallel campaigns use: cells are executed elsewhere — possibly out of
+    order, possibly in other processes — and only aggregated here).  Either
+    way each seed contributes a flat dict of metric name -> value, and every
+    replication must have the same keys.
     """
     if not seeds:
         raise AnalysisError("need at least one seed")
+    if callable(metric_fn):
+        fetch = metric_fn
+    else:
+        precomputed = dict(metric_fn)
+        missing = [seed for seed in seeds if seed not in precomputed]
+        if missing:
+            raise AnalysisError(
+                f"precomputed metrics missing seeds {missing}; have "
+                f"{sorted(precomputed)}")
+        fetch = precomputed.__getitem__
     values: dict[str, list[float]] = {}
     expected_keys = None
     for seed in seeds:
-        metrics = metric_fn(seed)
+        metrics = fetch(seed)
         if expected_keys is None:
             expected_keys = set(metrics)
             for key in metrics:

@@ -137,10 +137,15 @@ def spike_clusters(trace: ProbeTrace, threshold: float,
     times = trace.send_times[trace.rtts > threshold]
     if times.size == 0:
         return np.empty(0)
+    # Chain spikes off the *most recent* spike, not the cluster start: a
+    # fault lasting longer than ``guard`` is still one cluster as long as
+    # no inter-spike gap exceeds the guard interval.
     starts = [times[0]]
+    last = times[0]
     for t in times[1:]:
-        if t - starts[-1] > guard:
+        if t - last > guard:
             starts.append(t)
+        last = t
     return np.asarray(starts)
 
 

@@ -3,6 +3,7 @@
 Installed as console scripts (see pyproject) and usable via ``python -m``:
 
 * ``repro-experiment`` — run one probe experiment and print its analysis.
+* ``repro-campaign`` — run a (δ × seed) campaign grid, optionally parallel.
 * ``repro-figures`` — regenerate any/all paper figures and tables.
 * ``repro-traceroute`` — traceroute over a calibrated simulated topology.
 * ``repro-echo`` — run a live UDP echo server (real sockets).
@@ -22,6 +23,7 @@ if TYPE_CHECKING:  # pragma: no cover - type-only import
 from repro.analysis.loss import loss_stats
 from repro.analysis.phase import estimate_bottleneck_mu
 from repro.analysis.timeseries import summarize
+from repro.experiments.campaign import CampaignSpec, run_campaign
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.figures import ALL_FIGURES
 from repro.experiments.report import as_text, run_all
@@ -139,6 +141,55 @@ def _emit_observability(args: argparse.Namespace, config: ExperimentConfig,
     if args.manifest:
         write_manifest(args.manifest, config=config, metrics=obs.snapshot())
         print(f"manifest written to {args.manifest}")
+
+
+def main_campaign(argv: Optional[Sequence[str]] = None) -> int:
+    """Run a (δ × seed) campaign grid and print its summary tables."""
+    parser = argparse.ArgumentParser(
+        prog="repro-campaign",
+        description="Run a grid of probe experiments (δ × seed), "
+                    "optionally fanned out over worker processes.  "
+                    "Parallel and serial execution produce identical "
+                    "results; only timing.json differs.")
+    parser.add_argument("--deltas-ms", type=float, nargs="+",
+                        default=[50.0], metavar="MS",
+                        help="probe intervals in milliseconds "
+                             "(default: 50)")
+    parser.add_argument("--seeds", type=int, nargs="+", default=[1],
+                        metavar="SEED",
+                        help="seeds replicating each delta (default: 1)")
+    parser.add_argument("--duration", type=float, default=120.0,
+                        help="probe-train length per cell in seconds "
+                             "(default 120)")
+    parser.add_argument("--scenario", choices=("inria-umd", "umd-pitt"),
+                        default="inria-umd")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes for the grid (default 1 = "
+                             "serial)")
+    parser.add_argument("--output-dir", metavar="DIR",
+                        help="write per-cell trace CSVs, manifest.json, "
+                             "and timing.json into DIR")
+    args = parser.parse_args(argv)
+    if args.workers < 1:
+        parser.error(f"--workers must be >= 1, got {args.workers}")
+
+    spec = CampaignSpec(deltas=tuple(ms(d) for d in args.deltas_ms),
+                        seeds=tuple(args.seeds), duration=args.duration,
+                        scenario=args.scenario, output_dir=args.output_dir)
+    result = run_campaign(spec, workers=args.workers)
+    cells = len(spec.deltas) * len(spec.seeds)
+    print(f"campaign: {len(spec.deltas)} deltas x {len(spec.seeds)} seeds "
+          f"= {cells} cells ({args.workers} worker"
+          f"{'s' if args.workers != 1 else ''}, "
+          f"{sum(result.cell_wall_seconds.values()):.1f}s of cell work)")
+    print()
+    print(result.table())
+    print()
+    print(result.queue_table())
+    if args.output_dir:
+        print(f"\n{cells} trace CSVs + manifest.json + timing.json "
+              f"written to {args.output_dir}")
+    return 0
 
 
 def main_figures(argv: Optional[Sequence[str]] = None) -> int:

@@ -4,11 +4,24 @@ The paper's Table 3 is a campaign — one experiment per δ.  This module
 generalizes that: run a grid of (δ × seed), persist every trace as CSV,
 and aggregate the loss/delay metrics with cross-seed confidence intervals
 (:mod:`repro.analysis.stats`).  The ``repro-experiment`` CLI covers single
-runs; campaigns are the API for systematic studies.
+runs; campaigns are the API for systematic studies (``repro-campaign``
+drives this module from the command line).
+
+Cells are independent by construction — each owns its own
+:class:`~repro.sim.kernel.Simulator` seeded from the cell's seed — so the
+grid is embarrassingly parallel.  :func:`run_campaign` fans cells out over
+a ``ProcessPoolExecutor`` when ``workers > 1``; every cell runs through the
+same pure worker (:func:`_run_cell`) either way, and results are merged in
+(δ, seed) grid order regardless of completion order, so serial and
+parallel execution produce byte-identical tables, trace CSVs, and
+``manifest.json``.  Only the ``timing.json`` sidecar (worker count,
+per-cell wall seconds) reflects how the run was executed.
 """
 
 from __future__ import annotations
 
+import dataclasses
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Optional, Sequence, Union
@@ -18,10 +31,10 @@ from repro.analysis.stats import ReplicationSummary, replicate
 from repro.analysis.timeseries import summarize
 from repro.errors import ConfigurationError
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.runner import run_experiment_with_scenario
+from repro.experiments.runner import run_experiment_timed
 from repro.net.routing import Network
 from repro.netdyn.trace import ProbeTrace
-from repro.obs.manifest import write_manifest
+from repro.obs.manifest import write_manifest, write_timing
 from repro.units import seconds_to_ms
 
 
@@ -62,6 +75,34 @@ class CampaignSpec:
             raise ConfigurationError(
                 f"duration must be positive, got {self.duration}")
 
+    def cells(self) -> list[tuple[float, int]]:
+        """Every (delta, seed) pair, in grid order (δ-major, seed-minor)."""
+        return [(delta, seed) for delta in self.deltas for seed in self.seeds]
+
+
+def cell_key(delta: float, seed: int) -> str:
+    """Stable string id of one cell, e.g. ``"d100_s1"`` (δ in ms)."""
+    return f"d{seconds_to_ms(delta):g}_s{seed}"
+
+
+@dataclass
+class CellResult:
+    """Everything one (delta, seed) cell produces.
+
+    Returned by :func:`_run_cell`; plain data (numpy arrays, dicts,
+    floats) so it pickles cleanly across the process pool.
+    """
+
+    delta: float
+    seed: int
+    trace: ProbeTrace
+    #: queue label -> drop/occupancy stats (see :func:`collect_queue_stats`).
+    queue_stats: dict[str, dict[str, float]]
+    #: flat metric name -> value (see :func:`_cell_metrics`).
+    metrics: dict[str, float]
+    #: host wall-clock cost of the cell (build + warm-up + probe train).
+    wall_seconds: float
+
 
 @dataclass
 class CampaignResult:
@@ -75,6 +116,10 @@ class CampaignResult:
     #: (delta, seed) -> {queue label -> drop/occupancy stats}.
     queue_stats: dict[tuple[float, int], dict[str, dict[str, float]]] = \
         field(default_factory=dict)
+    #: cell key ("d<ms>_s<seed>") -> host wall seconds for that cell.
+    cell_wall_seconds: dict[str, float] = field(default_factory=dict)
+    #: worker processes the campaign was executed with.
+    workers: int = 1
 
     def table(self) -> str:
         """Per-δ metric table with cross-seed means."""
@@ -148,47 +193,95 @@ def _cell_metrics(trace: ProbeTrace) -> dict[str, float]:
     }
 
 
-def run_campaign(spec: CampaignSpec) -> CampaignResult:
-    """Execute every (delta, seed) cell of the campaign."""
+def _run_cell(spec: CampaignSpec, delta: float, seed: int) -> CellResult:
+    """Execute one (delta, seed) cell and return its full result.
+
+    Pure with respect to the campaign: reads only its arguments, touches
+    no shared state and no filesystem, so it can run in this process or in
+    a pool worker interchangeably.  Trace CSVs and manifests are written
+    by the parent after the deterministic merge.
+    """
+    config = ExperimentConfig(delta=delta, duration=spec.duration,
+                              seed=seed, scenario=spec.scenario,
+                              scenario_kwargs=dict(spec.scenario_kwargs))
+    trace, scenario, wall = run_experiment_timed(config)
+    return CellResult(delta=delta, seed=seed, trace=trace,
+                      queue_stats=collect_queue_stats(scenario.network),
+                      metrics=_cell_metrics(trace), wall_seconds=wall)
+
+
+def run_campaign(spec: CampaignSpec, workers: int = 1) -> CampaignResult:
+    """Execute every (delta, seed) cell of the campaign.
+
+    Parameters
+    ----------
+    spec:
+        The campaign grid.
+    workers:
+        Worker processes to fan cells out over.  ``1`` (the default) runs
+        every cell serially in this process; ``N > 1`` uses a
+        ``ProcessPoolExecutor``.  Both paths run the same per-cell worker
+        and merge results in grid order, so the resulting tables, CSVs,
+        and ``manifest.json`` are byte-identical either way.
+    """
+    if workers < 1:
+        raise ConfigurationError(f"workers must be >= 1, got {workers}")
     output_dir = Path(spec.output_dir) if spec.output_dir else None
     if output_dir:
         output_dir.mkdir(parents=True, exist_ok=True)
 
+    grid = spec.cells()
+    if workers == 1:
+        results = [_run_cell(spec, delta, seed) for delta, seed in grid]
+    else:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [pool.submit(_run_cell, spec, delta, seed)
+                       for delta, seed in grid]
+            # Collect in submission (= grid) order; completion order is
+            # irrelevant to the merged result.
+            results = [future.result() for future in futures]
+
     traces: dict[tuple[float, int], ProbeTrace] = {}
-    summaries: dict[float, ReplicationSummary] = {}
     queue_stats: dict[tuple[float, int], dict[str, dict[str, float]]] = {}
     cell_metrics: dict[str, dict[str, float]] = {}
-    for delta in spec.deltas:
+    cell_wall: dict[str, float] = {}
+    written: list[str] = []
+    for cell in results:
+        key = cell_key(cell.delta, cell.seed)
+        traces[(cell.delta, cell.seed)] = cell.trace
+        queue_stats[(cell.delta, cell.seed)] = cell.queue_stats
+        cell_metrics[key] = cell.metrics
+        cell_wall[key] = cell.wall_seconds
+        if output_dir:
+            name = f"trace_{key}.csv"
+            cell.trace.save_csv(output_dir / name)
+            written.append(name)
 
-        def one_seed(seed: int, _delta=delta) -> dict[str, float]:
-            config = ExperimentConfig(delta=_delta, duration=spec.duration,
-                                      seed=seed, scenario=spec.scenario,
-                                      scenario_kwargs=dict(
-                                          spec.scenario_kwargs))
-            trace, scenario = run_experiment_with_scenario(config)
-            traces[(_delta, seed)] = trace
-            queue_stats[(_delta, seed)] = collect_queue_stats(
-                scenario.network)
-            if output_dir:
-                name = f"trace_d{seconds_to_ms(_delta):g}_s{seed}.csv"
-                trace.save_csv(output_dir / name)
-            metrics = _cell_metrics(trace)
-            cell_metrics[f"d{seconds_to_ms(_delta):g}_s{seed}"] = metrics
-            return metrics
-
-        summaries[delta] = replicate(one_seed, spec.seeds)
+    metrics_by_cell = {(cell.delta, cell.seed): cell.metrics
+                       for cell in results}
+    summaries = {
+        delta: replicate({seed: metrics_by_cell[(delta, seed)]
+                          for seed in spec.seeds}, spec.seeds)
+        for delta in spec.deltas
+    }
 
     result = CampaignResult(spec=spec, traces=traces, summaries=summaries,
-                            queue_stats=queue_stats)
+                            queue_stats=queue_stats,
+                            cell_wall_seconds=cell_wall, workers=workers)
     if output_dir:
+        # The manifest records exactly the files this campaign wrote —
+        # never a directory listing, which would pick up leftovers from
+        # earlier runs — and strips output_dir from the config so two runs
+        # of the same spec into different directories stay byte-identical.
         write_manifest(
             output_dir / "manifest.json",
-            config=spec,
+            config=dataclasses.replace(spec, output_dir=None),
             metrics={"cells": cell_metrics},
-            extra={"queues": {f"d{seconds_to_ms(d):g}_s{s}": stats
+            extra={"queues": {cell_key(d, s): stats
                               for (d, s), stats in queue_stats.items()},
-                   "traces": sorted(p.name
-                                    for p in output_dir.glob("trace_*.csv"))})
+                   "traces": sorted(written)})
+        write_timing(output_dir / "timing.json", workers=workers,
+                     cell_wall_seconds=cell_wall)
     return result
 
 

@@ -9,8 +9,10 @@ simulated timestamp (same seed ⇒ identical trace either way).
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Optional, Tuple, Union
 
+from repro.errors import ConfigurationError
 from repro.experiments.config import ExperimentConfig
 from repro.netdyn.session import run_probe_experiment
 from repro.netdyn.trace import ProbeTrace
@@ -31,7 +33,11 @@ def build_scenario(config: ExperimentConfig) -> Scenario:
     """Instantiate the topology named by the configuration."""
     if config.scenario == "inria-umd":
         return build_inria_umd(seed=config.seed, **config.scenario_kwargs)
-    return build_umd_pitt(seed=config.seed, **config.scenario_kwargs)
+    if config.scenario == "umd-pitt":
+        return build_umd_pitt(seed=config.seed, **config.scenario_kwargs)
+    # ExperimentConfig validates on construction, but a mutated config must
+    # not silently fall through to the wrong topology.
+    raise ConfigurationError(f"unknown scenario {config.scenario!r}")
 
 
 def run_experiment(config: ExperimentConfig) -> ProbeTrace:
@@ -67,6 +73,20 @@ def run_experiment_with_scenario(config: ExperimentConfig,
             "mu_bps": scenario.bottleneck_rate_bps,
         })
     return trace, scenario
+
+
+def run_experiment_timed(config: ExperimentConfig,
+                         ) -> tuple[ProbeTrace, Scenario, float]:
+    """:func:`run_experiment_with_scenario` plus host wall-clock cost.
+
+    The wall time covers scenario construction, warm-up, and the probe
+    train — the full cost of one campaign cell.  It is host-side
+    bookkeeping only and never feeds back into simulated time, so it does
+    not affect determinism (same seed ⇒ identical trace).
+    """
+    started = perf_counter()
+    trace, scenario = run_experiment_with_scenario(config)
+    return trace, scenario, perf_counter() - started
 
 
 def run_observed_experiment(config: ExperimentConfig,

@@ -163,8 +163,8 @@ class ProbeTrace:
         send_times: list[float] = []
         rtts: list[float] = []
         with path.open() as handle:
-            for line in handle:
-                line = line.strip()
+            for lineno, raw in enumerate(handle, start=1):
+                line = raw.strip()
                 if not line:
                     continue
                 if line.startswith("#"):
@@ -178,9 +178,18 @@ class ProbeTrace:
                     continue
                 if line.startswith("n,"):
                     continue
-                _, s, r = line.split(",")
-                send_times.append(float(s))
-                rtts.append(float(r))
+                fields = line.split(",")
+                if len(fields) != 3:
+                    raise AnalysisError(
+                        f"{path}:{lineno}: expected 3 fields "
+                        f"(n, send_time, rtt), got {len(fields)}: {line!r}")
+                try:
+                    send_times.append(float(fields[1]))
+                    rtts.append(float(fields[2]))
+                except ValueError as exc:
+                    raise AnalysisError(
+                        f"{path}:{lineno}: non-numeric field in row "
+                        f"{line!r}") from exc
         if header["delta"] is None:
             if len(send_times) >= 2:
                 header["delta"] = send_times[1] - send_times[0]

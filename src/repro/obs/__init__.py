@@ -52,7 +52,13 @@ from repro.obs.export import (
     write_profiles_json,
 )
 from repro.obs.lifecycle import HopRecord, PacketLifecycleTracer, probe_uids
-from repro.obs.manifest import build_manifest, read_manifest, write_manifest
+from repro.obs.manifest import (
+    build_manifest,
+    read_manifest,
+    read_timing,
+    write_manifest,
+    write_timing,
+)
 from repro.obs.registry import (
     CounterMetric,
     GaugeMetric,
@@ -86,11 +92,13 @@ __all__ = [
     "read_events_jsonl",
     "read_hops_jsonl",
     "read_manifest",
+    "read_timing",
     "write_chrome_trace",
     "write_events_jsonl",
     "write_hops_jsonl",
     "write_manifest",
     "write_profiles_json",
+    "write_timing",
 ]
 
 

@@ -100,3 +100,33 @@ def write_manifest(path: Union[str, Path], config: Any = None,
 def read_manifest(path: Union[str, Path]) -> Dict[str, Any]:
     """Read a manifest written by :func:`write_manifest`."""
     return json.loads(Path(path).read_text())
+
+
+def write_timing(path: Union[str, Path], workers: int,
+                 cell_wall_seconds: Dict[str, float]) -> Dict[str, Any]:
+    """Write the execution-timing sidecar of a campaign run.
+
+    Wall-clock timings are inherently non-deterministic, so they live in
+    their own file (``timing.json``) next to ``manifest.json`` rather than
+    inside it: the manifest stays byte-identical across same-seed runs and
+    across serial vs. parallel execution (DESIGN.md's determinism
+    invariant), while the sidecar records how the run was executed —
+    worker count and per-cell wall seconds.
+
+    Returns the document that was written.
+    """
+    document: Dict[str, Any] = {
+        "workers": int(workers),
+        "cell_wall_seconds": {key: float(value)
+                              for key, value in cell_wall_seconds.items()},
+        "total_cell_seconds": float(sum(cell_wall_seconds.values())),
+    }
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    return document
+
+
+def read_timing(path: Union[str, Path]) -> Dict[str, Any]:
+    """Read a timing sidecar written by :func:`write_timing`."""
+    return json.loads(Path(path).read_text())

@@ -43,10 +43,19 @@ class Event:
     action: Callable[[], Any] = field(compare=False)
     label: str = field(default="", compare=False)
     cancelled: bool = field(default=False, compare=False)
+    #: Queue the event is pending in; cleared once popped, cancelled, or
+    #: dropped, so cancellation bookkeeping happens exactly once.
+    _owner: Optional["EventQueue"] = field(default=None, compare=False,
+                                           repr=False)
 
     def cancel(self) -> None:
         """Mark the event so the kernel skips it when it is popped."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        owner, self._owner = self._owner, None
+        if owner is not None:
+            owner._notify_cancelled()
 
 
 class EventQueue:
@@ -54,25 +63,35 @@ class EventQueue:
 
     Cancelled events stay in the heap and are discarded when popped; this
     keeps :meth:`cancel` O(1) at the cost of transient heap growth, which is
-    the right trade-off for timer-heavy network simulations.
+    the right trade-off for timer-heavy network simulations.  A live-event
+    counter is maintained across ``push``/``pop``/``cancel``/``clear`` so
+    ``len(queue)`` (and :meth:`Simulator.pending_events`) is O(1) instead of
+    a per-call heap scan.
     """
 
     def __init__(self) -> None:
         self._heap: list[Event] = []
         self._counter: Iterator[int] = itertools.count()
+        self._live: int = 0
 
     def __len__(self) -> int:
-        return sum(1 for event in self._heap if not event.cancelled)
+        return self._live
 
     def __bool__(self) -> bool:
-        return any(not event.cancelled for event in self._heap)
+        return self._live > 0
+
+    def _notify_cancelled(self) -> None:
+        """Bookkeeping hook called by :meth:`Event.cancel`, exactly once."""
+        self._live -= 1
 
     def push(self, time: float, action: Callable[[], Any],
              priority: int = DEFAULT_PRIORITY, label: str = "") -> Event:
         """Add an event and return a handle that supports ``cancel()``."""
         event = Event(time=time, priority=priority,
                       sequence=next(self._counter), action=action, label=label)
+        event._owner = self
         heapq.heappush(self._heap, event)
+        self._live += 1
         return event
 
     def pop(self) -> Optional[Event]:
@@ -80,6 +99,8 @@ class EventQueue:
         while self._heap:
             event = heapq.heappop(self._heap)
             if not event.cancelled:
+                event._owner = None
+                self._live -= 1
                 return event
         return None
 
@@ -93,4 +114,7 @@ class EventQueue:
 
     def clear(self) -> None:
         """Drop every pending event."""
+        for event in self._heap:
+            event._owner = None
         self._heap.clear()
+        self._live = 0

@@ -140,6 +140,17 @@ class TestRunsTest:
         with pytest.raises(InsufficientDataError):
             runs_test(trace_from_losses([1, 1, 1]))
 
+    def test_extreme_z_p_value_does_not_underflow(self):
+        # Regression: 2*(1 - cdf(|z|)) rounds to exactly 0.0 for |z| >~ 8.
+        # A perfectly alternating sequence of n probes has z ~ sqrt(n), so
+        # n = 120 pushes |z| past 10 where only the sf() form survives.
+        pattern = [0, 1] * 60
+        result = runs_test(trace_from_losses(pattern))
+        assert abs(result.z) > 8
+        assert 0.0 < result.p_value < 1e-12
+        assert result.p_value == pytest.approx(
+            2.0 * math.erfc(abs(result.z) / math.sqrt(2.0)) / 2.0, rel=1e-6)
+
 
 @settings(max_examples=100, deadline=None)
 @given(pattern=st.lists(st.integers(0, 1), min_size=2, max_size=200))

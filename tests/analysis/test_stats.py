@@ -116,3 +116,27 @@ class TestReplicate:
         summary = replicate(lambda seed: {"ulp": 0.1 * seed}, seeds=[1, 2])
         assert "ulp" in summary.table()
         assert "n=2" in summary.table()
+
+    def test_precomputed_mapping(self):
+        # The parallel-campaign path: metrics computed elsewhere, possibly
+        # out of order, aggregated in seed order here.
+        precomputed = {3: {"x": 3.0}, 1: {"x": 1.0}, 2: {"x": 2.0}}
+        summary = replicate(precomputed, seeds=[1, 2, 3])
+        assert summary.values["x"] == [1.0, 2.0, 3.0]
+        assert summary.seeds == [1, 2, 3]
+
+    def test_precomputed_mapping_matches_callable(self):
+        fn = lambda seed: {"x": float(seed) ** 2}  # noqa: E731
+        seeds = [2, 5, 7]
+        from_fn = replicate(fn, seeds)
+        from_map = replicate({s: fn(s) for s in seeds}, seeds)
+        assert from_fn.values == from_map.values
+        assert from_fn.seeds == from_map.seeds
+
+    def test_precomputed_mapping_missing_seed_rejected(self):
+        with pytest.raises(AnalysisError, match="missing seeds"):
+            replicate({1: {"x": 1.0}}, seeds=[1, 2])
+
+    def test_precomputed_mapping_inconsistent_keys_rejected(self):
+        with pytest.raises(AnalysisError):
+            replicate({1: {"x": 1.0}, 2: {"y": 1.0}}, seeds=[1, 2])

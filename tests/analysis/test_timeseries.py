@@ -134,6 +134,31 @@ class TestSpikes:
         with pytest.raises(InsufficientDataError):
             periodic_spike_period(trace, threshold=1.0)
 
+    def test_long_cluster_not_split(self):
+        # Regression: a single fault lasting 3x the guard interval used to
+        # be split into several clusters because each spike was compared
+        # against the cluster's *start* instead of the most recent spike.
+        guard = 5.0
+        rtts = [0.1] * 100
+        for i in range(20, 35):  # one 15 s fault (3 * guard), spikes 1 s apart
+            rtts[i] = 2.0
+        rtts[60] = 2.0  # a separate later fault
+        trace = trace_of(rtts, delta=1.0)
+        clusters = spike_clusters(trace, threshold=1.0, guard=guard)
+        assert clusters.tolist() == [20.0, 60.0]
+
+    def test_long_cluster_period_not_inflated(self):
+        # The same regression inflated periodic_spike_period: two 15 s
+        # faults 50 s apart must yield a 50 s period, not the intra-fault
+        # spike spacing.
+        rtts = [0.1] * 120
+        for start in (10, 60):
+            for i in range(start, start + 15):
+                rtts[i] = 2.0
+        trace = trace_of(rtts, delta=1.0)
+        assert periodic_spike_period(trace, threshold=1.0, guard=5.0) == \
+            pytest.approx(50.0)
+
     def test_guard_validation(self):
         with pytest.raises(AnalysisError):
             spike_clusters(trace_of([0.1]), threshold=1.0, guard=0.0)

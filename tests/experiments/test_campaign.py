@@ -5,6 +5,8 @@ import pytest
 from repro.errors import ConfigurationError
 from repro.experiments.campaign import (
     CampaignSpec,
+    _run_cell,
+    cell_key,
     load_campaign_traces,
     run_campaign,
 )
@@ -107,3 +109,83 @@ class TestRunCampaign:
                                              "utilization_rev": 0.2})
         result = run_campaign(spec)
         assert (0.05, 1) in result.traces
+
+    def test_manifest_ignores_stale_traces(self, tmp_path):
+        # Regression: the manifest used to glob the output directory, so a
+        # leftover trace from an earlier run in the same directory leaked
+        # into the new campaign's artifact list.
+        from repro.obs import read_manifest
+        (tmp_path / "trace_d999_s9.csv").write_text(
+            "n,send_time,rtt\n0,0.0,0.1\n")
+        run_campaign(small_spec(output_dir=tmp_path))
+        manifest = read_manifest(tmp_path / "manifest.json")
+        assert manifest["extra"]["traces"] == ["trace_d100_s1.csv"]
+
+    def test_cell_wall_seconds_recorded(self):
+        result = run_campaign(small_spec(seeds=(1, 2)))
+        assert set(result.cell_wall_seconds) == {"d100_s1", "d100_s2"}
+        assert all(wall > 0 for wall in result.cell_wall_seconds.values())
+        assert result.workers == 1
+
+    def test_timing_sidecar_written(self, tmp_path):
+        from repro.obs import read_timing
+        run_campaign(small_spec(output_dir=tmp_path), workers=2)
+        timing = read_timing(tmp_path / "timing.json")
+        assert timing["workers"] == 2
+        assert set(timing["cell_wall_seconds"]) == {"d100_s1"}
+        assert timing["total_cell_seconds"] > 0
+
+    def test_workers_validation(self):
+        with pytest.raises(ConfigurationError):
+            run_campaign(small_spec(), workers=0)
+
+    def test_cell_key(self):
+        assert cell_key(0.1, 1) == "d100_s1"
+        assert cell_key(0.008, 12) == "d8_s12"
+
+
+class TestParallelCampaign:
+    """Parallel and serial execution must be indistinguishable on disk."""
+
+    def grid_spec(self, output_dir):
+        return small_spec(deltas=(0.1, 0.2), seeds=(1, 2), duration=5.0,
+                          output_dir=output_dir)
+
+    def test_parallel_matches_serial_byte_identical(self, tmp_path):
+        serial_dir = tmp_path / "serial"
+        parallel_dir = tmp_path / "parallel"
+        serial = run_campaign(self.grid_spec(serial_dir), workers=1)
+        parallel = run_campaign(self.grid_spec(parallel_dir), workers=4)
+
+        assert serial.table() == parallel.table()
+        assert serial.queue_table() == parallel.queue_table()
+
+        serial_files = sorted(p.name for p in serial_dir.glob("trace_*.csv"))
+        parallel_files = sorted(
+            p.name for p in parallel_dir.glob("trace_*.csv"))
+        assert serial_files == parallel_files == [
+            "trace_d100_s1.csv", "trace_d100_s2.csv",
+            "trace_d200_s1.csv", "trace_d200_s2.csv"]
+        for name in serial_files:
+            assert (serial_dir / name).read_bytes() == \
+                (parallel_dir / name).read_bytes(), name
+        assert (serial_dir / "manifest.json").read_bytes() == \
+            (parallel_dir / "manifest.json").read_bytes()
+
+    def test_parallel_grid_coverage_and_summaries(self):
+        spec = small_spec(deltas=(0.1, 0.2), seeds=(1, 2))
+        serial = run_campaign(spec, workers=1)
+        parallel = run_campaign(spec, workers=2)
+        assert set(parallel.traces) == set(serial.traces)
+        for delta in spec.deltas:
+            assert parallel.summaries[delta].values == \
+                serial.summaries[delta].values
+        assert parallel.workers == 2
+
+    def test_run_cell_is_pure_and_deterministic(self):
+        spec = small_spec()
+        first = _run_cell(spec, 0.1, 1)
+        second = _run_cell(spec, 0.1, 1)
+        assert first.trace.rtts.tolist() == second.trace.rtts.tolist()
+        assert first.metrics == second.metrics
+        assert first.queue_stats == second.queue_stats

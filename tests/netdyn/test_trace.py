@@ -104,6 +104,33 @@ class TestPersistence:
         assert loaded.delta == pytest.approx(0.025)
 
 
+class TestLoadCsvMalformedRows:
+    """Malformed rows must raise AnalysisError naming the file and line.
+
+    Regression: a short/long/non-numeric row used to die with a bare
+    ``ValueError`` from tuple unpacking, with no hint where in the file
+    the problem was.
+    """
+
+    def test_short_row(self, tmp_path):
+        path = tmp_path / "short.csv"
+        path.write_text("n,send_time,rtt\n0,0.0,0.1\n1,0.05\n")
+        with pytest.raises(AnalysisError, match=r"short\.csv:3.*2"):
+            ProbeTrace.load_csv(path)
+
+    def test_long_row(self, tmp_path):
+        path = tmp_path / "long.csv"
+        path.write_text("n,send_time,rtt\n0,0.0,0.1,extra\n")
+        with pytest.raises(AnalysisError, match=r"long\.csv:2.*4"):
+            ProbeTrace.load_csv(path)
+
+    def test_non_numeric_field(self, tmp_path):
+        path = tmp_path / "text.csv"
+        path.write_text("n,send_time,rtt\n0,0.0,0.1\n1,0.05,oops\n")
+        with pytest.raises(AnalysisError, match=r"text\.csv:3.*non-numeric"):
+            ProbeTrace.load_csv(path)
+
+
 @settings(max_examples=80, deadline=None)
 @given(rtts=st.lists(
     st.one_of(st.just(0.0), st.floats(1e-4, 10.0)), min_size=1, max_size=50),

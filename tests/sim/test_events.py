@@ -91,6 +91,88 @@ class TestEventQueue:
         assert second.sequence > first.sequence
 
 
+class TestLiveCounter:
+    """The O(1) live-event counter must agree with a heap scan throughout.
+
+    Regression for the O(n)-per-call ``__len__``/``__bool__``: the count is
+    now maintained incrementally, so every mutation path (push, pop, lazy
+    cancellation, cancel-after-pop, double cancel, clear) has to keep it
+    exact.
+    """
+
+    def heap_scan(self, queue):
+        return sum(1 for event in queue._heap if not event.cancelled)
+
+    def test_counter_tracks_push_pop_cancel(self):
+        queue = EventQueue()
+        handles = [queue.push(float(i), lambda: None) for i in range(10)]
+        assert len(queue) == self.heap_scan(queue) == 10
+        handles[3].cancel()
+        handles[7].cancel()
+        assert len(queue) == self.heap_scan(queue) == 8
+        assert queue.pop().time == 0.0
+        assert len(queue) == self.heap_scan(queue) == 7
+        # Popping past the cancelled events must not double-count them.
+        while queue.pop() is not None:
+            assert len(queue) == self.heap_scan(queue)
+        assert len(queue) == 0
+        assert not queue
+
+    def test_double_cancel_counts_once(self):
+        queue = EventQueue()
+        handle = queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        assert len(queue) == 1
+
+    def test_cancel_after_pop_does_not_corrupt_count(self):
+        queue = EventQueue()
+        handle = queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        popped = queue.pop()
+        assert popped is handle
+        handle.cancel()  # event already fired; count must stay at 1
+        assert len(queue) == 1
+
+    def test_cancel_after_clear_does_not_corrupt_count(self):
+        queue = EventQueue()
+        handle = queue.push(1.0, lambda: None)
+        queue.clear()
+        handle.cancel()
+        assert len(queue) == 0
+        queue.push(2.0, lambda: None)
+        assert len(queue) == 1
+
+    def test_len_and_bool_do_not_scan_heap(self):
+        # Regression for the O(n)-per-call implementation: __len__ and
+        # __bool__ must read the maintained counter, never iterate the
+        # heap (Simulator.pending_events is called per monitoring tick).
+        queue = EventQueue()
+        for i in range(5):
+            queue.push(float(i), lambda: None)
+
+        class IterationDetector(list):
+            iterated = False
+
+            def __iter__(self):
+                self.iterated = True
+                return super().__iter__()
+
+        queue._heap = IterationDetector(queue._heap)
+        assert len(queue) == 5
+        assert queue
+        assert not queue._heap.iterated
+
+    def test_peek_time_keeps_count(self):
+        queue = EventQueue()
+        handle = queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        handle.cancel()
+        assert queue.peek_time() == 2.0  # drops the cancelled head lazily
+        assert len(queue) == self.heap_scan(queue) == 1
+
+
 class TestEvent:
     def test_ordering_by_time_then_priority_then_sequence(self):
         early = Event(1.0, 0, 0, lambda: None)

@@ -90,6 +90,34 @@ class TestExperimentCli:
         assert bare.read_bytes() == observed.read_bytes()
 
 
+class TestCampaignCli:
+    def test_basic_grid(self, capsys):
+        code = cli.main_campaign(["--deltas-ms", "100", "--seeds", "1", "2",
+                                  "--duration", "5"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "1 deltas x 2 seeds = 2 cells" in out
+        assert "100ms" in out
+        assert "drops" in out  # queue table rendered
+
+    def test_output_dir_artifacts(self, tmp_path, capsys):
+        out_dir = tmp_path / "campaign"
+        code = cli.main_campaign(["--deltas-ms", "100", "--seeds", "1",
+                                  "--duration", "5", "--workers", "2",
+                                  "--output-dir", str(out_dir)])
+        assert code == 0
+        assert (out_dir / "trace_d100_s1.csv").exists()
+        from repro.obs import read_manifest, read_timing
+        manifest = read_manifest(out_dir / "manifest.json")
+        assert manifest["extra"]["traces"] == ["trace_d100_s1.csv"]
+        timing = read_timing(out_dir / "timing.json")
+        assert timing["workers"] == 2
+
+    def test_workers_validation(self):
+        with pytest.raises(SystemExit):
+            cli.main_campaign(["--workers", "0"])
+
+
 class TestFiguresCli:
     def test_single_figure(self, capsys):
         code = cli.main_figures(["table1"])
