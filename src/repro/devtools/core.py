@@ -153,6 +153,7 @@ def _load_builtin_rules() -> None:
         rules_determinism,
         rules_errors,
         rules_obs,
+        rules_perf,
         rules_sim,
         rules_units,
     )

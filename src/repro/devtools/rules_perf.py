@@ -1,0 +1,87 @@
+"""Performance rule: PERF001 (no slot-less dataclasses on the hot path).
+
+The simulator kernel and the network substrate allocate objects per event
+and per packet; a ``@dataclass`` without ``__slots__`` carries a per-instance
+``__dict__`` (space) and pays decorator-generated ``__init__``/``__eq__``
+machinery (time) on exactly the allocations the hot path multiplies by
+millions.  Classes in ``repro/sim/`` and ``repro/net/`` must be hand-written
+``__slots__`` classes (see DESIGN.md, "Hot path") or pass ``slots=True`` —
+the latter needs Python ≥ 3.10, which CI's floor predates, so in practice:
+write the slots class.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import PurePath
+from typing import Iterator
+
+from repro.devtools.core import FileContext, Finding, Rule, register
+
+#: Packages whose per-instance allocations sit on the event/packet hot path.
+_HOT_PACKAGES = ("/repro/sim/", "/repro/net/")
+
+
+def _is_dataclass_decorator(node: ast.expr) -> bool:
+    """True for ``@dataclass``, ``@dataclass(...)``, and dotted forms."""
+    if isinstance(node, ast.Call):
+        node = node.func
+    if isinstance(node, ast.Attribute):
+        return node.attr == "dataclass"
+    return isinstance(node, ast.Name) and node.id == "dataclass"
+
+
+def _has_slots_true(node: ast.expr) -> bool:
+    """True for ``@dataclass(..., slots=True)``."""
+    if not isinstance(node, ast.Call):
+        return False
+    return any(keyword.arg == "slots"
+               and isinstance(keyword.value, ast.Constant)
+               and keyword.value.value is True
+               for keyword in node.keywords)
+
+
+def _defines_slots(class_def: ast.ClassDef) -> bool:
+    for statement in class_def.body:
+        targets = ()
+        if isinstance(statement, ast.Assign):
+            targets = statement.targets
+        elif isinstance(statement, ast.AnnAssign):
+            targets = (statement.target,)
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == "__slots__":
+                return True
+    return False
+
+
+@register
+class NoSlotlessDataclassRule(Rule):
+    """PERF001: hot-path packages may not use ``@dataclass`` without slots."""
+
+    rule_id = "PERF001"
+    summary = ("@dataclass without slots is banned in repro/sim/ and "
+               "repro/net/; write a __slots__ class (DESIGN.md, 'Hot path')")
+
+    def applies_to(self, path: str) -> bool:
+        posix = PurePath(path).as_posix()
+        if not any(package in posix for package in _HOT_PACKAGES):
+            return False
+        return super().applies_to(path)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            dataclass_decorators = [decorator
+                                    for decorator in node.decorator_list
+                                    if _is_dataclass_decorator(decorator)]
+            if not dataclass_decorators:
+                continue
+            if any(_has_slots_true(d) for d in dataclass_decorators):
+                continue
+            if _defines_slots(node):
+                continue
+            yield ctx.finding(
+                self, node,
+                f"dataclass {node.name!r} without __slots__ in a hot-path "
+                f"package; hand-write a __slots__ class instead")

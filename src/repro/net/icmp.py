@@ -7,7 +7,6 @@ echo-reply (ping, and the grouped prober of Mukherjee [19]), time-exceeded
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Optional
 
 from repro.net.packet import (
@@ -25,24 +24,63 @@ ECHO_SIZE_BYTES = 64
 ERROR_SIZE_BYTES = 56
 
 
-@dataclass(frozen=True)
 class EchoContext:
     """Identifier/sequence pair carried by echo requests and replies."""
 
-    ident: int
-    seq: int
+    __slots__ = ("ident", "seq")
+
+    def __init__(self, ident: int, seq: int) -> None:
+        self.ident = ident
+        self.seq = seq
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, EchoContext):
+            return NotImplemented
+        return self.ident == other.ident and self.seq == other.seq
+
+    def __hash__(self) -> int:
+        return hash((self.ident, self.seq))
+
+    def __repr__(self) -> str:
+        return f"EchoContext(ident={self.ident!r}, seq={self.seq!r})"
 
 
-@dataclass(frozen=True)
 class ErrorContext:
     """What an ICMP error reports about the packet that triggered it."""
 
-    reporter: str
-    original_uid: int
-    original_src: str
-    original_dst: str
-    original_src_port: Optional[int]
-    original_dst_port: Optional[int]
+    __slots__ = ("reporter", "original_uid", "original_src", "original_dst",
+                 "original_src_port", "original_dst_port")
+
+    def __init__(self, reporter: str, original_uid: int, original_src: str,
+                 original_dst: str, original_src_port: Optional[int],
+                 original_dst_port: Optional[int]) -> None:
+        self.reporter = reporter
+        self.original_uid = original_uid
+        self.original_src = original_src
+        self.original_dst = original_dst
+        self.original_src_port = original_src_port
+        self.original_dst_port = original_dst_port
+
+    def _key(self) -> tuple:
+        return (self.reporter, self.original_uid, self.original_src,
+                self.original_dst, self.original_src_port,
+                self.original_dst_port)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ErrorContext):
+            return NotImplemented
+        return self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash(self._key())
+
+    def __repr__(self) -> str:
+        return (f"ErrorContext(reporter={self.reporter!r}, "
+                f"original_uid={self.original_uid!r}, "
+                f"original_src={self.original_src!r}, "
+                f"original_dst={self.original_dst!r}, "
+                f"original_src_port={self.original_src_port!r}, "
+                f"original_dst_port={self.original_dst_port!r})")
 
 
 def make_echo(src: str, dst: str, ident: int, seq: int, created_at: float,

@@ -10,6 +10,7 @@ simply a pair of interfaces, one on each node (see
 
 from __future__ import annotations
 
+from collections import deque
 from typing import TYPE_CHECKING, Optional
 
 from repro.errors import ConfigurationError
@@ -70,6 +71,18 @@ class Interface:
         self._busy_time = 0.0
         #: Optional packet-lifecycle observer (see repro.net.hooks).
         self.lifecycle: Optional[LifecycleObserver] = None
+        # Hot-path state (see DESIGN.md, "Hot path").  The transmitter is
+        # serial and the propagation delay is a per-interface constant, so
+        # transmission-finish and delivery events complete in the order they
+        # were scheduled: one packet slot plus a FIFO of in-flight packets
+        # replaces a closure per event.  The bound callbacks and labels are
+        # allocated once here instead of once per packet.
+        self._transmitting: Optional[Packet] = None
+        self._inflight: deque[Packet] = deque()
+        self._tx_done_ref = self._transmission_done
+        self._deliver_ref = self._dispatch_deliver
+        self._tx_label = f"tx-done {name}"
+        self._deliver_label = f"deliver {name}"
 
     # ------------------------------------------------------------------
     def attach_peer(self, peer: "Node") -> None:
@@ -77,6 +90,8 @@ class Interface:
         self.peer = peer
         if not self.name:
             self.name = f"{self.node.name}->{peer.name}"
+        self._tx_label = f"tx-done {self.name}"
+        self._deliver_label = f"deliver {self.name}"
 
     def add_egress_fault(self, fault: FaultModel) -> None:
         """Drop/stall packets as they are transmitted."""
@@ -112,31 +127,44 @@ class Interface:
         packet = self.queue.dequeue()
         if packet is None:
             return
+        sim = self._sim
+        now = sim.now
         self._busy = True
-        self._busy_since = self._sim.now
-        start = self._sim.now
+        self._busy_since = now
+        start = now
         for fault in self.egress_faults:
-            start = max(start, fault.stalled_until(self._sim.now))
-        tx_delay = packet.size_bits / self.rate_bps
-        finish = start + tx_delay
-        self._sim.call_at(finish, lambda: self._transmission_done(packet),
-                          label=f"tx-done {self.name}")
+            start = max(start, fault.stalled_until(now))
+        finish = start + packet.size_bits / self.rate_bps
+        self._transmitting = packet
+        sim.call_at(finish, self._tx_done_ref, label=self._tx_label)
         if self.lifecycle is not None:
             self.lifecycle.on_tx_start(self, packet)
 
-    def _transmission_done(self, packet: Packet) -> None:
+    def _transmission_done(self) -> None:
+        packet = self._transmitting
+        assert packet is not None
+        self._transmitting = None
+        sim = self._sim
+        now = sim.now
         self.transmitted += 1
         self.transmitted_bits += packet.size_bits
-        self._busy_time += self._sim.now - self._busy_since
-        arrival = self._sim.now + self.prop_delay
-        self._sim.call_at(arrival, lambda: self._deliver(packet),
-                          label=f"deliver {self.name}")
+        self._busy_time += now - self._busy_since
+        self._inflight.append(packet)
+        sim.call_at(now + self.prop_delay, self._deliver_ref,
+                    label=self._deliver_label)
         self._busy = False
         if self.lifecycle is not None:
             self.lifecycle.on_tx_done(self, packet)
         self._start_next()
 
-    def _deliver(self, packet: Packet) -> None:
+    def _dispatch_deliver(self) -> None:
+        # One extra call so ``self._deliver`` is looked up when the event
+        # *fires*, not when it was scheduled: a PacketTap installed while
+        # packets were already in flight still intercepts their delivery.
+        self._deliver()
+
+    def _deliver(self) -> None:
+        packet = self._inflight.popleft()
         assert self.peer is not None
         for fault in self.ingress_faults:
             if fault.drops(packet, self._sim):

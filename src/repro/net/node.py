@@ -8,6 +8,7 @@ UDP port demultiplexing and local clocks.  Forwarding is next-hop based:
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Callable, Optional
 
 from repro.errors import RoutingError
@@ -53,6 +54,13 @@ class Node:
         self.ttl_drops = 0
         #: Optional packet-lifecycle observer (see repro.net.hooks).
         self.lifecycle: Optional[LifecycleObserver] = None
+        # Packets waiting out the processing delay, FIFO: every forward at
+        # this node has the same delay, so the pending events complete in
+        # schedule order and one persistent callback + deque replaces a
+        # closure per forwarded packet (see DESIGN.md, "Hot path").
+        self._fwd_pending: deque[tuple[Packet, Interface]] = deque()
+        self._fwd_ref = self._forward_done
+        self._fwd_label = f"fwd {name}"
 
     # ------------------------------------------------------------------
     # Topology wiring (used by Network)
@@ -113,11 +121,15 @@ class Node:
         interface = self.interfaces[peer_name]
         self.forwarded += 1
         if self.processing_delay > 0:
-            self.sim.schedule(self.processing_delay,
-                              lambda: interface.send(packet),
-                              label=f"fwd {self.name}")
+            self._fwd_pending.append((packet, interface))
+            self.sim.schedule(self.processing_delay, self._fwd_ref,
+                              label=self._fwd_label)
         else:
             interface.send(packet)
+
+    def _forward_done(self) -> None:
+        packet, interface = self._fwd_pending.popleft()
+        interface.send(packet)
 
     def _report_error(self, kind: str, offending: Packet) -> None:
         """Send an ICMP error about ``offending`` back to its source."""

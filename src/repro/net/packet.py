@@ -5,6 +5,11 @@ links serialize packets at ``wire size / link rate``.  The paper's probe
 packets carry a 32-byte payload but occupy 72 bytes on the wire (Bolot
 computes ``b_n = mu * 35ms - 72 * 8`` bits), so the UDP/IP/link overhead
 constant below is 40 bytes.
+
+``Packet`` is a hand-written ``__slots__`` class: the forwarding path creates
+one per datagram and touches its fields at every hop, so instance size and
+attribute access dominate the substrate's per-packet cost (see DESIGN.md,
+"Hot path").
 """
 
 from __future__ import annotations
@@ -12,7 +17,6 @@ from __future__ import annotations
 import itertools
 
 from repro.units import BITS_PER_BYTE
-from dataclasses import dataclass, field
 from typing import Any, Optional
 
 #: IPv4 header (20 B) + UDP header (8 B).
@@ -51,11 +55,27 @@ _uid_counter = itertools.count(1)
 
 
 def next_packet_uid() -> int:
-    """Return a process-wide unique packet id (diagnostics only)."""
+    """Return the next packet uid (diagnostics only).
+
+    Uids restart from 1 whenever a :class:`~repro.sim.kernel.Simulator` is
+    constructed (see :func:`reset_packet_uids`), so they are unique within a
+    simulation, not across a whole process.
+    """
     return next(_uid_counter)
 
 
-@dataclass
+def reset_packet_uids() -> None:
+    """Restart the uid counter at 1.
+
+    Called by ``Simulator.__init__`` so that the uids a cell's
+    :class:`~repro.obs.lifecycle.PacketLifecycleTracer` records depend only
+    on that cell's own packet sequence — two identical cells run
+    back-to-back in one process emit identical lifecycle traces.
+    """
+    global _uid_counter
+    _uid_counter = itertools.count(1)
+
+
 class Packet:
     """A network packet.
 
@@ -80,23 +100,40 @@ class Packet:
         Number of forwarding operations performed so far.
     context:
         For ICMP errors: information about the offending packet.
+    record:
+        When a list, every node the packet visits appends its name — the
+        IP record-route option (how the paper obtained Table 1 via ping).
+    uid:
+        Per-simulation unique id (assigned from the uid counter when not
+        given explicitly).
     """
 
-    src: str
-    dst: str
-    kind: str = KIND_UDP
-    size_bytes: int = UDP_WIRE_OVERHEAD_BYTES
-    ttl: int = DEFAULT_TTL
-    src_port: Optional[int] = None
-    dst_port: Optional[int] = None
-    payload: Any = None
-    created_at: float = 0.0
-    hops: int = 0
-    context: Any = None
-    #: When a list, every node the packet visits appends its name — the
-    #: IP record-route option (how the paper obtained Table 1 via ping).
-    record: Optional[list] = None
-    uid: int = field(default_factory=next_packet_uid)
+    __slots__ = ("src", "dst", "kind", "size_bytes", "ttl", "src_port",
+                 "dst_port", "payload", "created_at", "hops", "context",
+                 "record", "uid")
+
+    def __init__(self, src: str, dst: str, kind: str = KIND_UDP,
+                 size_bytes: int = UDP_WIRE_OVERHEAD_BYTES,
+                 ttl: int = DEFAULT_TTL,
+                 src_port: Optional[int] = None,
+                 dst_port: Optional[int] = None,
+                 payload: Any = None, created_at: float = 0.0,
+                 hops: int = 0, context: Any = None,
+                 record: Optional[list] = None,
+                 uid: Optional[int] = None) -> None:
+        self.src = src
+        self.dst = dst
+        self.kind = kind
+        self.size_bytes = size_bytes
+        self.ttl = ttl
+        self.src_port = src_port
+        self.dst_port = dst_port
+        self.payload = payload
+        self.created_at = created_at
+        self.hops = hops
+        self.context = context
+        self.record = record
+        self.uid = next(_uid_counter) if uid is None else uid
 
     @property
     def size_bits(self) -> int:

@@ -54,8 +54,9 @@ class DropTailQueue:
         self.departures = 0
         self.occupancy_packets = TimeWeightedValue(sim, 0.0)
         self.occupancy_bytes = TimeWeightedValue(sim, 0.0)
-        #: Optional packet-lifecycle observer (see repro.net.hooks).
-        self.lifecycle: Optional[LifecycleObserver] = None
+        # Sets the lifecycle property, which binds self.enqueue to the
+        # no-hooks fast path until an observer is attached.
+        self.lifecycle = None
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -75,20 +76,56 @@ class DropTailQueue:
         """True if enqueuing ``packet`` now would overflow the buffer."""
         return self._occupancy_after(packet) > self.capacity
 
-    def enqueue(self, packet: Packet) -> bool:
-        """Append ``packet`` if it fits; return False (and count) on drop."""
+    @property
+    def lifecycle(self) -> Optional[LifecycleObserver]:
+        """Optional packet-lifecycle observer (see repro.net.hooks).
+
+        Assigning an observer swaps ``self.enqueue`` to the hooked
+        implementation; assigning ``None`` restores the no-hooks fast path,
+        so the common untraced case pays zero per-packet hook checks on the
+        enqueue step.  Both implementations do identical queue accounting —
+        attaching an observer never changes drop decisions or occupancy.
+        """
+        return self._lifecycle
+
+    @lifecycle.setter
+    def lifecycle(self, observer: Optional[LifecycleObserver]) -> None:
+        self._lifecycle = observer
+        self.enqueue = (self._enqueue_fast if observer is None
+                        else self._enqueue_hooked)
+
+    def _enqueue_fast(self, packet: Packet) -> bool:
+        """``enqueue`` with no lifecycle observer attached."""
         self.arrivals += 1
-        if self.would_drop(packet):
+        if self._occupancy_after(packet) > self.capacity:
             self.drops += 1
-            if self.lifecycle is not None:
-                self.lifecycle.on_queue_drop(self, packet)
             return False
         self._packets.append(packet)
         self._bytes += packet.size_bytes
         self._record_occupancy()
-        if self.lifecycle is not None:
-            self.lifecycle.on_enqueued(self, packet)
         return True
+
+    def _enqueue_hooked(self, packet: Packet) -> bool:
+        """``enqueue`` while a lifecycle observer is attached."""
+        self.arrivals += 1
+        if self._occupancy_after(packet) > self.capacity:
+            self.drops += 1
+            self._lifecycle.on_queue_drop(self, packet)
+            return False
+        self._packets.append(packet)
+        self._bytes += packet.size_bytes
+        self._record_occupancy()
+        self._lifecycle.on_enqueued(self, packet)
+        return True
+
+    def enqueue(self, packet: Packet) -> bool:
+        """Append ``packet`` if it fits; return False (and count) on drop.
+
+        Rebound per instance by the ``lifecycle`` setter to the fast or
+        hooked implementation; this class-level fallback only exists for
+        introspection and subclasses that bypass ``__init__``.
+        """
+        return self._enqueue_fast(packet)
 
     def dequeue(self) -> Optional[Packet]:
         """Pop the head-of-line packet, or None if empty."""

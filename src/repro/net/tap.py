@@ -10,7 +10,6 @@ debugging sessions use.
 from __future__ import annotations
 
 import csv
-from dataclasses import dataclass
 from pathlib import Path
 from typing import Optional, Union
 
@@ -18,20 +17,39 @@ import numpy as np
 
 from repro.errors import AnalysisError
 from repro.net.link import Interface
-from repro.net.packet import Packet
 from repro.units import bytes_to_bits
 
 
-@dataclass(frozen=True)
 class CaptureRecord:
-    """One captured packet crossing."""
+    """One captured packet crossing (immutable value object)."""
 
-    time: float
-    uid: int
-    kind: str
-    src: str
-    dst: str
-    size_bytes: int
+    __slots__ = ("time", "uid", "kind", "src", "dst", "size_bytes")
+
+    def __init__(self, time: float, uid: int, kind: str, src: str,
+                 dst: str, size_bytes: int) -> None:
+        self.time = time
+        self.uid = uid
+        self.kind = kind
+        self.src = src
+        self.dst = dst
+        self.size_bytes = size_bytes
+
+    def _key(self) -> tuple:
+        return (self.time, self.uid, self.kind, self.src, self.dst,
+                self.size_bytes)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CaptureRecord):
+            return NotImplemented
+        return self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash(self._key())
+
+    def __repr__(self) -> str:
+        return (f"CaptureRecord(time={self.time!r}, uid={self.uid!r}, "
+                f"kind={self.kind!r}, src={self.src!r}, dst={self.dst!r}, "
+                f"size_bytes={self.size_bytes!r})")
 
 
 class PacketTap:
@@ -57,13 +75,16 @@ class PacketTap:
         self._original_deliver = interface._deliver
         interface._deliver = self._tapped_deliver  # type: ignore[assignment]
 
-    def _tapped_deliver(self, packet: Packet) -> None:
+    def _tapped_deliver(self) -> None:
+        # The arriving packet is the head of the interface's in-flight
+        # FIFO; the original _deliver pops it.
+        packet = self.interface._inflight[0]
         if self.kinds is None or packet.kind in self.kinds:
             self.records.append(CaptureRecord(
                 time=self.interface._sim.now, uid=packet.uid,
                 kind=packet.kind, src=packet.src, dst=packet.dst,
                 size_bytes=packet.size_bytes))
-        self._original_deliver(packet)
+        self._original_deliver()
 
     def close(self) -> None:
         """Unhook the tap; recorded packets stay available."""

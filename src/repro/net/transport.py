@@ -19,7 +19,6 @@ with pure ACKs returning.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Optional
 
 from repro.errors import ConfigurationError
@@ -33,20 +32,32 @@ ACK_WIRE_BYTES = UDP_WIRE_OVERHEAD_BYTES
 INITIAL_RTO = 1.0
 
 
-@dataclass
 class TransferStats:
     """Counters exposed by a :class:`MiniTcpSender`."""
 
-    segments_sent: int = 0
-    retransmissions: int = 0
-    timeouts: int = 0
-    fast_retransmits: int = 0
-    acks_received: int = 0
+    __slots__ = ("segments_sent", "retransmissions", "timeouts",
+                 "fast_retransmits", "acks_received")
+
+    def __init__(self, segments_sent: int = 0, retransmissions: int = 0,
+                 timeouts: int = 0, fast_retransmits: int = 0,
+                 acks_received: int = 0) -> None:
+        self.segments_sent = segments_sent
+        self.retransmissions = retransmissions
+        self.timeouts = timeouts
+        self.fast_retransmits = fast_retransmits
+        self.acks_received = acks_received
 
     @property
     def goodput_segments(self) -> int:
         """Distinct segments delivered (sent minus retransmissions)."""
         return self.segments_sent - self.retransmissions
+
+    def __repr__(self) -> str:
+        return (f"TransferStats(segments_sent={self.segments_sent!r}, "
+                f"retransmissions={self.retransmissions!r}, "
+                f"timeouts={self.timeouts!r}, "
+                f"fast_retransmits={self.fast_retransmits!r}, "
+                f"acks_received={self.acks_received!r})")
 
 
 class MiniTcpReceiver:

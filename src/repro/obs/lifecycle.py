@@ -17,7 +17,6 @@ leaves all simulated timestamps bit-identical.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 from repro.net.packet import KIND_UDP
@@ -44,16 +43,19 @@ TERMINAL_EVENTS = frozenset({EVENT_QUEUE_DROP, EVENT_FAULT_DROP,
                              EVENT_RECEIVED})
 
 
-@dataclass(frozen=True)
 class HopRecord:
     """One packet milestone.
+
+    A slotted immutable-by-convention value object (several are allocated
+    per packet per hop while tracing, so instance size matters).
 
     Attributes
     ----------
     time:
         Simulated time of the milestone, seconds.
     uid:
-        The packet's process-wide unique id.
+        The packet's unique id within its simulation (uids restart at 1 per
+        :class:`~repro.sim.kernel.Simulator`).
     event:
         One of the ``EVENT_*`` milestone names.
     place:
@@ -69,14 +71,37 @@ class HopRecord:
         packet bounced off); -1 elsewhere.
     """
 
-    time: float
-    uid: int
-    event: str
-    place: str
-    kind: str
-    src: str
-    dst: str
-    queue_len: int = -1
+    __slots__ = ("time", "uid", "event", "place", "kind", "src", "dst",
+                 "queue_len")
+
+    def __init__(self, time: float, uid: int, event: str, place: str,
+                 kind: str, src: str, dst: str, queue_len: int = -1) -> None:
+        self.time = time
+        self.uid = uid
+        self.event = event
+        self.place = place
+        self.kind = kind
+        self.src = src
+        self.dst = dst
+        self.queue_len = queue_len
+
+    def _key(self) -> tuple:
+        return (self.time, self.uid, self.event, self.place, self.kind,
+                self.src, self.dst, self.queue_len)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, HopRecord):
+            return NotImplemented
+        return self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash(self._key())
+
+    def __repr__(self) -> str:
+        return (f"HopRecord(time={self.time!r}, uid={self.uid!r}, "
+                f"event={self.event!r}, place={self.place!r}, "
+                f"kind={self.kind!r}, src={self.src!r}, dst={self.dst!r}, "
+                f"queue_len={self.queue_len!r})")
 
     def as_dict(self) -> dict:
         """JSON-serializable form (one JSONL row)."""

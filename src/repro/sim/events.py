@@ -5,20 +5,26 @@ a monotonically increasing counter assigned at scheduling time, which makes
 the execution order of simultaneous events deterministic (FIFO within the
 same time and priority) and therefore makes whole simulations reproducible
 from a seed.
+
+``Event`` is a hand-written ``__slots__`` class rather than a dataclass: the
+kernel creates one instance per scheduled callback and the heap compares
+events on every sift, so field access and ``__lt__`` are the hottest code in
+the simulator.  The generated ``order=True`` comparator would build a
+``(time, priority, sequence)`` tuple on *both* sides of every comparison;
+the hand-written one short-circuits on ``time`` (almost always decisive)
+without allocating.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator, Optional
 
 #: Default event priority.  Lower values run first at equal timestamps.
 DEFAULT_PRIORITY = 0
 
 
-@dataclass(order=True)
 class Event:
     """A scheduled callback.
 
@@ -37,16 +43,38 @@ class Event:
         Optional human-readable tag used in error messages and tracing.
     """
 
-    time: float
-    priority: int
-    sequence: int
-    action: Callable[[], Any] = field(compare=False)
-    label: str = field(default="", compare=False)
-    cancelled: bool = field(default=False, compare=False)
-    #: Queue the event is pending in; cleared once popped, cancelled, or
-    #: dropped, so cancellation bookkeeping happens exactly once.
-    _owner: Optional["EventQueue"] = field(default=None, compare=False,
-                                           repr=False)
+    __slots__ = ("time", "priority", "sequence", "action", "label",
+                 "cancelled", "_owner")
+
+    def __init__(self, time: float, priority: int, sequence: int,
+                 action: Callable[[], Any], label: str = "") -> None:
+        self.time = time
+        self.priority = priority
+        self.sequence = sequence
+        self.action = action
+        self.label = label
+        self.cancelled = False
+        #: Queue the event is pending in; cleared once popped, cancelled, or
+        #: dropped, so cancellation bookkeeping happens exactly once.
+        self._owner: Optional["EventQueue"] = None
+
+    def __lt__(self, other: "Event") -> bool:
+        # Hot path: called on every heap sift.  Short-circuit on time; ties
+        # fall through to priority then the deterministic sequence number.
+        if self.time != other.time:
+            return self.time < other.time
+        if self.priority != other.priority:
+            return self.priority < other.priority
+        return self.sequence < other.sequence
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Event):
+            return NotImplemented
+        return (self.time == other.time and self.priority == other.priority
+                and self.sequence == other.sequence)
+
+    # Ordered-and-mutable, like the dataclass(order=True) it replaces.
+    __hash__ = None  # type: ignore[assignment]
 
     def cancel(self) -> None:
         """Mark the event so the kernel skips it when it is popped."""
@@ -56,6 +84,11 @@ class Event:
         owner, self._owner = self._owner, None
         if owner is not None:
             owner._notify_cancelled()
+
+    def __repr__(self) -> str:
+        state = " cancelled" if self.cancelled else ""
+        return (f"Event(time={self.time!r}, priority={self.priority!r}, "
+                f"sequence={self.sequence!r}, label={self.label!r}{state})")
 
 
 class EventQueue:
@@ -68,6 +101,8 @@ class EventQueue:
     ``len(queue)`` (and :meth:`Simulator.pending_events`) is O(1) instead of
     a per-call heap scan.
     """
+
+    __slots__ = ("_heap", "_counter", "_live")
 
     def __init__(self) -> None:
         self._heap: list[Event] = []
@@ -87,8 +122,7 @@ class EventQueue:
     def push(self, time: float, action: Callable[[], Any],
              priority: int = DEFAULT_PRIORITY, label: str = "") -> Event:
         """Add an event and return a handle that supports ``cancel()``."""
-        event = Event(time=time, priority=priority,
-                      sequence=next(self._counter), action=action, label=label)
+        event = Event(time, priority, next(self._counter), action, label)
         event._owner = self
         heapq.heappush(self._heap, event)
         self._live += 1

@@ -8,16 +8,32 @@ their work through :meth:`Simulator.schedule` / :meth:`Simulator.call_at`.
 The kernel is callback-based rather than coroutine-based: network components
 are naturally event-driven (a packet arrives, a timer fires), callbacks keep
 the hot path free of generator overhead, and determinism is easy to audit.
+
+The run loop is the single hottest function in the repository.  It pops the
+next live event straight off the queue's heap (one traversal, not the
+``peek_time()`` + ``pop()`` pair the public API offers) with the heap and
+``heappop`` bound to locals; per-event work is limited to the cancelled-skip,
+the ``until`` bound check, the clock store, the counter bump, and the
+callback itself.  Both invariants the rest of the tree leans on are
+preserved: same seed ⇒ bit-identical event order, and an attached observer
+changes nothing but wall-clock bookkeeping.
 """
 
 from __future__ import annotations
 
+from heapq import heappop, heappush
 from time import perf_counter
 from typing import Any, Callable, Optional, Protocol
 
 from repro.errors import SchedulingError, SimulationError
 from repro.sim.events import DEFAULT_PRIORITY, Event, EventQueue
 from repro.sim.random import RandomStreams
+
+_INF = float("inf")
+
+#: Allocate an Event without running ``Event.__init__`` (the scheduling
+#: fast path sets every slot itself).
+_new_event = Event.__new__
 
 
 class KernelObserver(Protocol):
@@ -44,6 +60,11 @@ class Simulator:
         built with the same seed and the same scheduling sequence produce
         identical runs.
 
+    Constructing a simulator also resets the packet-uid counter (see
+    :func:`repro.net.packet.reset_packet_uids`), so the uids recorded by
+    packet-lifecycle tracers depend only on the cell being simulated, never
+    on what ran earlier in the same process.
+
     Examples
     --------
     >>> sim = Simulator(seed=1)
@@ -62,6 +83,10 @@ class Simulator:
         self._events_executed = 0
         self._observer: Optional[KernelObserver] = None
         self.streams = RandomStreams(seed)
+        # Local import: repro.net depends on repro.sim, so the kernel must
+        # not import the net package at module level.
+        from repro.net.packet import reset_packet_uids
+        reset_packet_uids()
 
     # ------------------------------------------------------------------
     # Clock
@@ -73,7 +98,11 @@ class Simulator:
 
     @property
     def events_executed(self) -> int:
-        """Number of events executed so far (diagnostics, ablations)."""
+        """Number of events executed so far (diagnostics, ablations).
+
+        Updated when :meth:`run` returns, not per event — read it between
+        runs, not from inside an event callback.
+        """
         return self._events_executed
 
     # ------------------------------------------------------------------
@@ -110,23 +139,67 @@ class Simulator:
         Raises
         ------
         SchedulingError
-            If ``time`` is in the past.
+            If ``time`` is in the past, NaN, or infinite.  Non-finite times
+            would silently corrupt the heap ordering (NaN compares false
+            against everything), so they are rejected up front.
         """
-        if time < self._now:
+        # One chained comparison covers all three rejects: a NaN fails both
+        # sides, +inf fails the right, and -inf / the past fail the left.
+        if not self._now <= time < _INF:
+            if time != time or time in (_INF, -_INF):
+                raise SchedulingError(
+                    f"cannot schedule {label or action!r} at non-finite "
+                    f"t={time!r}")
             raise SchedulingError(
                 f"cannot schedule {label or action!r} at t={time:.6f}; "
                 f"clock is already at t={self._now:.6f}")
-        return self._queue.push(time, action, priority=priority, label=label)
+        # EventQueue.push, inlined down to the allocation: scheduling
+        # happens once per event, so the push() and Event.__init__ call
+        # frames are both measurable (see DESIGN.md, "Hot path").  The
+        # field stores must mirror Event.__init__ exactly.
+        queue = self._queue
+        event = _new_event(Event)
+        event.time = time
+        event.priority = priority
+        event.sequence = next(queue._counter)
+        event.action = action
+        event.label = label
+        event.cancelled = False
+        event._owner = queue
+        heappush(queue._heap, event)
+        queue._live += 1
+        return event
 
     def schedule(self, delay: float, action: Callable[[], Any],
                  priority: int = DEFAULT_PRIORITY, label: str = "") -> Event:
-        """Schedule ``action`` after a relative ``delay`` (seconds)."""
-        if delay < 0:
+        """Schedule ``action`` after a relative ``delay`` (seconds).
+
+        Raises
+        ------
+        SchedulingError
+            If ``delay`` is negative, NaN, or infinite.
+        """
+        if not 0.0 <= delay < _INF:
+            if delay != delay or delay == _INF:
+                raise SchedulingError(
+                    f"cannot schedule {label or action!r} with non-finite "
+                    f"delay {delay!r}")
             raise SchedulingError(
                 f"cannot schedule {label or action!r} with negative delay "
                 f"{delay:.6f}")
-        return self._queue.push(self._now + delay, action,
-                                priority=priority, label=label)
+        # EventQueue.push, inlined down to the allocation (see call_at).
+        queue = self._queue
+        event = _new_event(Event)
+        event.time = self._now + delay
+        event.priority = priority
+        event.sequence = next(queue._counter)
+        event.action = action
+        event.label = label
+        event.cancelled = False
+        event._owner = queue
+        heappush(queue._heap, event)
+        queue._live += 1
+        return event
 
     # ------------------------------------------------------------------
     # Run loop
@@ -147,17 +220,31 @@ class Simulator:
         # wall-clock bookkeeping around event.action() — simulated state
         # (clock, queue, streams) is advanced identically in both.
         observer = self._observer
+        # Hot locals: the heap and heappop are bound once; actions mutate
+        # the heap in place (push/cancel), never rebind it.
+        queue = self._queue
+        heap = queue._heap
+        pop = heappop
+        # Scheduling rejects non-finite times, so every live event's time is
+        # strictly below +inf and an unbounded run needs no separate branch.
+        limit = _INF if until is None else until
+        # Executed events are counted in a local and folded into
+        # self._events_executed and the queue's live counter when the loop
+        # exits: both are between-runs diagnostics (events_executed,
+        # pending_events), and no action reads them mid-run.
+        executed = 0
         try:
-            while not self._stopped:
-                next_time = self._queue.peek_time()
-                if next_time is None:
+            while heap:
+                event = heap[0]
+                if event.cancelled:
+                    pop(heap)
+                    continue
+                if event.time > limit:
                     break
-                if until is not None and next_time > until:
-                    break
-                event = self._queue.pop()
-                assert event is not None  # peek_time said there was one
+                pop(heap)
+                event._owner = None
                 self._now = event.time
-                self._events_executed += 1
+                executed += 1
                 if observer is None:
                     event.action()
                 else:
@@ -166,9 +253,13 @@ class Simulator:
                     observer.on_event(event.time, event.label,
                                       event.priority,
                                       perf_counter() - started)
+                if self._stopped:
+                    break
             if until is not None and self._now < until and not self._stopped:
                 self._now = until
         finally:
+            self._events_executed += executed
+            queue._live -= executed
             self._running = False
 
     def stop(self) -> None:
@@ -176,5 +267,9 @@ class Simulator:
         self._stopped = True
 
     def pending_events(self) -> int:
-        """Number of live events still scheduled."""
+        """Number of live events still scheduled.
+
+        Exact between :meth:`run` calls; from inside an event callback the
+        count may still include events this run has already executed.
+        """
         return len(self._queue)

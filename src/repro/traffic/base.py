@@ -77,7 +77,16 @@ class TrafficSource:
         self.host = host
         self.destination = destination
         self.port = port
+        # Hot-path handles, bound once per source: the batched-draw layer
+        # for interval/size sampling, the simulator, and a persistent bound
+        # reference to _tick so self-rescheduling allocates no closure per
+        # emission (see DESIGN.md, "Hot path").  self.rng stays available
+        # for subclasses/tests that need the raw generator; streams.get()
+        # flushes the batched layer, so both views stay consistent.
+        self._draws = host.sim.streams.draws(stream)
         self.rng: np.random.Generator = host.sim.streams.get(stream)
+        self._sim = host.sim
+        self._tick_ref = self._tick
         self.packets_sent = 0
         self.bytes_sent = 0
         self._running = False
@@ -88,20 +97,25 @@ class TrafficSource:
         if self._running:
             raise ConfigurationError("source already started")
         self._running = True
-        start_time = self.host.sim.now if at is None else at
-        self.host.sim.call_at(start_time + self._next_interval(),
-                              self._tick, label="traffic-start")
+        start_time = self._sim.now if at is None else at
+        self._sim.call_at(start_time + self._next_interval(),
+                          self._tick_ref, label="traffic-start")
 
     def stop(self) -> None:
         """Stop after the current event; pending packets still drain."""
         self._running = False
 
+    @property
+    def running(self) -> bool:
+        """True between :meth:`start` and :meth:`stop`."""
+        return self._running
+
     def _tick(self) -> None:
         if not self._running:
             return
         self._emit()
-        self.host.sim.schedule(self._next_interval(), self._tick,
-                               label="traffic")
+        self._sim.schedule(self._next_interval(), self._tick_ref,
+                           label="traffic")
 
     # ------------------------------------------------------------------
     # Subclass hooks

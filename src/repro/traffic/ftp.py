@@ -58,32 +58,48 @@ class FtpSource(TrafficSource):
         self.payload_bytes = payload_bytes
         self.sessions_started = 0
         self.sessions_finished = 0
+        self._mean_session_interval = 1.0 / session_rate
+        self._file_size_p = 1.0 / mean_file_packets
 
     # The base-class timer drives *session arrivals*; each session then
     # schedules its own window emissions.
     def _next_interval(self) -> float:
-        return float(self.rng.exponential(1.0 / self.session_rate))
+        return self._draws.exponential(self._mean_session_interval)
 
     def _emit(self) -> None:
-        remaining = int(self.rng.geometric(1.0 / self.mean_file_packets))
+        remaining = self._draws.geometric(self._file_size_p)
         self.sessions_started += 1
-        self._send_window(remaining)
-
-    def _send_window(self, remaining: int) -> None:
-        if not self._running:
-            return  # stop() halts in-flight transfers too
-        burst = min(self.window, remaining)
-        for _ in range(burst):
-            self._send(self.payload_bytes)
-        remaining -= burst
-        if remaining > 0:
-            self.host.sim.schedule(self.window_interval,
-                                   lambda: self._send_window(remaining),
-                                   label="ftp-window")
-        else:
-            self.sessions_finished += 1
+        _FtpTransfer(self, remaining)
 
     def mean_rate_bps(self) -> float:
         """Long-run offered payload rate implied by the parameters."""
         return (self.session_rate * self.mean_file_packets
                 * bytes_to_bits(self.payload_bytes))
+
+
+class _FtpTransfer:
+    """One in-flight file transfer: its remaining-packet counter plus one
+    persistent bound tick callback, so a transfer of N windows costs one
+    object instead of N closures."""
+
+    __slots__ = ("source", "remaining", "_tick_ref")
+
+    def __init__(self, source: FtpSource, remaining: int) -> None:
+        self.source = source
+        self.remaining = remaining
+        self._tick_ref = self._tick
+        self._tick()
+
+    def _tick(self) -> None:
+        source = self.source
+        if not source.running:
+            return  # stop() halts in-flight transfers too
+        burst = min(source.window, self.remaining)
+        for _ in range(burst):
+            source._send(source.payload_bytes)
+        self.remaining -= burst
+        if self.remaining > 0:
+            source._sim.schedule(source.window_interval, self._tick_ref,
+                                 label="ftp-window")
+        else:
+            source.sessions_finished += 1

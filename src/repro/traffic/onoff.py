@@ -34,18 +34,18 @@ class OnOffSource(TrafficSource):
         self._on_until = 0.0
 
     def _next_interval(self) -> float:
-        now = self.host.sim.now
+        now = self._sim.now
         if now < self._on_until:
             return self.interval
         # Burst over: draw a silence, then a new burst length.
-        silence = float(self.rng.exponential(self.off_mean))
-        burst = float(self.rng.exponential(self.on_mean))
+        silence = self._draws.exponential(self.off_mean)
+        burst = self._draws.exponential(self.on_mean)
         self._on_until = now + silence + burst
         return silence
 
     def _emit(self) -> None:
-        if self.host.sim.now <= self._on_until:
-            self._send(self.sizes.sample(self.rng))
+        if self._sim.now <= self._on_until:
+            self._send(self.sizes.sample_batched(self._draws))
 
     @property
     def duty_cycle(self) -> float:

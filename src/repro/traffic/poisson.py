@@ -34,12 +34,13 @@ class PoissonSource(TrafficSource):
                 f"rate must be positive, got {rate_pps}")
         self.rate_pps = rate_pps
         self.sizes = sizes if sizes is not None else FixedSize(512)
+        self._mean_interval = 1.0 / rate_pps
 
     def _next_interval(self) -> float:
-        return float(self.rng.exponential(1.0 / self.rate_pps))
+        return self._draws.exponential(self._mean_interval)
 
     def _emit(self) -> None:
-        self._send(self.sizes.sample(self.rng))
+        self._send(self.sizes.sample_batched(self._draws))
 
 
 class ModulatedPoissonSource(TrafficSource):
@@ -64,15 +65,16 @@ class ModulatedPoissonSource(TrafficSource):
         self.peak_rate_pps = peak_rate_pps
         self.sizes = sizes if sizes is not None else FixedSize(512)
         self.thinned = 0
+        self._mean_interval = 1.0 / peak_rate_pps
 
     def _next_interval(self) -> float:
-        return float(self.rng.exponential(1.0 / self.peak_rate_pps))
+        return self._draws.exponential(self._mean_interval)
 
     def _emit(self) -> None:
-        current = self.rate(self.host.sim.now)
+        current = self.rate(self._sim.now)
         acceptance = min(1.0, max(0.0, current / self.peak_rate_pps))
-        if self.rng.random() < acceptance:
-            self._send(self.sizes.sample(self.rng))
+        if self._draws.random() < acceptance:
+            self._send(self.sizes.sample_batched(self._draws))
         else:
             self.thinned += 1
 

@@ -28,6 +28,16 @@ class SizeDistribution:
         """Return one payload size."""
         raise NotImplementedError
 
+    def sample_batched(self, draws) -> int:
+        """Return one payload size via a :class:`~repro.sim.random.BatchedDraws`.
+
+        Must consume the *same number of underlying uniforms* as
+        :meth:`sample` would, producing the same value — the traffic hot
+        path uses this entry point and the determinism tests compare the
+        two (see ``tests/sim/test_random_batched.py``).
+        """
+        raise NotImplementedError
+
     def mean(self) -> float:
         """Expected payload size in bytes."""
         raise NotImplementedError
@@ -43,6 +53,9 @@ class FixedSize(SizeDistribution):
         self.payload_bytes = payload_bytes
 
     def sample(self, rng: np.random.Generator) -> int:
+        return self.payload_bytes
+
+    def sample_batched(self, draws) -> int:
         return self.payload_bytes
 
     def mean(self) -> float:
@@ -61,9 +74,20 @@ class EmpiricalSize(SizeDistribution):
             raise ConfigurationError("weights must sum to a positive value")
         self.sizes = np.asarray(sizes, dtype=int)
         self.probabilities = np.asarray(weights, dtype=float) / total
+        # Normalized cumulative distribution for sample_batched: numpy's
+        # Generator.choice(a, p=p) draws one uniform u and returns
+        # a[searchsorted(cumsum(p)/cumsum(p)[-1], u, side="right")], so
+        # replaying that arithmetic against a batched uniform reproduces
+        # choice() exactly while consuming the same single draw.
+        self._cdf = self.probabilities.cumsum()
+        self._cdf /= self._cdf[-1]
 
     def sample(self, rng: np.random.Generator) -> int:
         return int(rng.choice(self.sizes, p=self.probabilities))
+
+    def sample_batched(self, draws) -> int:
+        index = int(np.searchsorted(self._cdf, draws.random(), side="right"))
+        return int(self.sizes[index])
 
     def mean(self) -> float:
         return float(np.dot(self.sizes, self.probabilities))

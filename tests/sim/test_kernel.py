@@ -30,6 +30,28 @@ class TestScheduling:
         with pytest.raises(SchedulingError):
             sim.schedule(-0.1, lambda: None)
 
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"),
+                                     float("-inf")])
+    def test_non_finite_time_rejected(self, sim, bad):
+        # NaN compares false against everything, so letting one into the
+        # heap would silently corrupt its ordering.
+        with pytest.raises(SchedulingError, match="non-finite"):
+            sim.call_at(bad, lambda: None)
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf")])
+    def test_non_finite_delay_rejected(self, sim, bad):
+        with pytest.raises(SchedulingError, match="non-finite"):
+            sim.schedule(bad, lambda: None)
+
+    def test_negative_infinite_delay_rejected(self, sim):
+        with pytest.raises(SchedulingError):
+            sim.schedule(float("-inf"), lambda: None)
+
+    def test_rejected_time_leaves_queue_untouched(self, sim):
+        with pytest.raises(SchedulingError):
+            sim.call_at(float("nan"), lambda: None)
+        assert sim.pending_events() == 0
+
     def test_cancelled_event_does_not_fire(self, sim):
         fired = []
         handle = sim.call_at(1.0, lambda: fired.append("x"))
