@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import argparse
 import asyncio
+import os
 import sys
 from typing import TYPE_CHECKING, Optional, Sequence
 
@@ -23,6 +24,7 @@ if TYPE_CHECKING:  # pragma: no cover - type-only import
 from repro.analysis.loss import loss_stats
 from repro.analysis.phase import estimate_bottleneck_mu
 from repro.analysis.timeseries import summarize
+from repro.experiments.cache import CampaignCache
 from repro.experiments.campaign import CampaignSpec, run_campaign
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.figures import ALL_FIGURES
@@ -169,19 +171,46 @@ def main_campaign(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--output-dir", metavar="DIR",
                         help="write per-cell trace CSVs, manifest.json, "
                              "and timing.json into DIR")
+    parser.add_argument("--cache-dir", metavar="DIR",
+                        help="content-addressed cell cache: cells already "
+                             "cached here are loaded, not re-simulated; "
+                             "fresh results are stored back (default: "
+                             "$REPRO_CACHE_DIR when set, else no cache)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the cell cache even when --cache-dir "
+                             "or $REPRO_CACHE_DIR is set")
+    parser.add_argument("--refresh", action="store_true",
+                        help="re-simulate every cell and overwrite its "
+                             "cache entry (requires a cache directory)")
     args = parser.parse_args(argv)
     if args.workers < 1:
         parser.error(f"--workers must be >= 1, got {args.workers}")
+    cache_dir = None if args.no_cache else (
+        args.cache_dir or os.environ.get("REPRO_CACHE_DIR") or None)
+    if args.refresh and cache_dir is None:
+        parser.error("--refresh needs a cache directory "
+                     "(--cache-dir or $REPRO_CACHE_DIR), and conflicts "
+                     "with --no-cache")
+    cache = CampaignCache(cache_dir, refresh=args.refresh) \
+        if cache_dir else None
 
     spec = CampaignSpec(deltas=tuple(ms(d) for d in args.deltas_ms),
                         seeds=tuple(args.seeds), duration=args.duration,
                         scenario=args.scenario, output_dir=args.output_dir)
-    result = run_campaign(spec, workers=args.workers)
+    result = run_campaign(spec, workers=args.workers, cache=cache)
     cells = len(spec.deltas) * len(spec.seeds)
     print(f"campaign: {len(spec.deltas)} deltas x {len(spec.seeds)} seeds "
           f"= {cells} cells ({args.workers} worker"
           f"{'s' if args.workers != 1 else ''}, "
           f"{sum(result.cell_wall_seconds.values()):.1f}s of cell work)")
+    if result.cache_stats is not None:
+        stats = result.cache_stats
+        print(f"cache: {stats['hits']} hit"
+              f"{'s' if stats['hits'] != 1 else ''}, "
+              f"{stats['misses']} miss"
+              f"{'es' if stats['misses'] != 1 else ''} "
+              f"({stats['saved_cell_seconds']:.1f}s of cell work saved, "
+              f"{stats['directory']})")
     print()
     print(result.table())
     print()

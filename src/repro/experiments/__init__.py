@@ -1,5 +1,11 @@
 """Calibrated experiments: one function per table/figure of the paper."""
 
+from repro.experiments.cache import (
+    CACHE_SALT,
+    CampaignCache,
+    cell_fingerprint,
+    instrument_cache,
+)
 from repro.experiments.campaign import (
     CampaignResult,
     CampaignSpec,
@@ -41,8 +47,12 @@ from repro.experiments.runner import (
 )
 
 __all__ = [
+    "CACHE_SALT",
+    "CampaignCache",
     "CampaignSpec",
     "CampaignResult",
+    "cell_fingerprint",
+    "instrument_cache",
     "run_campaign",
     "load_campaign_traces",
     "validate_calibration",

@@ -1,0 +1,278 @@
+"""Content-addressed on-disk cache for campaign cells.
+
+A campaign cell is a pure function of its causal inputs: the scenario name
+and kwargs, the probe interval δ, the seed, the duration, the probe
+payload/wire sizes, and the code that simulates it.  :class:`CampaignCache`
+exploits that purity — each cell's full
+:class:`~repro.experiments.campaign.CellResult` (trace, queue stats,
+metrics, wall cost) is stored under a SHA-256 fingerprint of those inputs,
+so re-running a grid whose inputs did not change loads results from disk
+instead of re-simulating them.
+
+The governing invariant (DESIGN.md): **a cache hit is byte-identical to a
+cold run; the cache is an optimization, never an input.**  Concretely:
+
+* The fingerprint covers *every* input that can influence a cell's output,
+  including :data:`CACHE_SALT` — a code-version salt bumped whenever
+  kernel/traffic semantics change, so a stale cache can never leak results
+  produced by different simulation code.
+* Entries are written atomically (temp file + ``os.replace``), so a killed
+  run never leaves a partial entry behind.
+* A corrupted entry — truncated zip, garbled JSON, fingerprint mismatch —
+  is treated as a miss, logged, and recomputed; it is never an error.
+* Traces are stored in the binary columnar npz form
+  (:meth:`~repro.netdyn.trace.ProbeTrace.save_npz`), so float64 samples
+  round-trip bit-exactly, and the cell payload JSON preserves dict order,
+  so re-serialized artifacts (tables, CSVs, ``manifest.json``) come out
+  byte-identical to a cold run.
+
+Nothing non-deterministic about cache behaviour (hit/miss counts, byte
+volumes) ever enters ``manifest.json``; it is reported through the
+``timing.json`` sidecar and the pull-based metrics registered by
+:func:`instrument_cache`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import logging
+import os
+import tempfile
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Dict, Optional, Union
+
+import numpy as np
+
+from repro.errors import AnalysisError, ConfigurationError
+from repro.experiments.config import DEFAULT_WARMUP
+from repro.net.packet import UDP_WIRE_OVERHEAD_BYTES
+from repro.netdyn.packetfmt import PROBE_PAYLOAD_BYTES
+from repro.netdyn.trace import ProbeTrace
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from repro.experiments.campaign import CampaignSpec, CellResult
+    from repro.obs.registry import MetricsRegistry
+
+logger = logging.getLogger(__name__)
+
+#: Code-version salt folded into every fingerprint.  Bump whenever a change
+#: to the kernel, traffic, topology, or netdyn layers alters what any cell
+#: simulates (the golden-trace test failing is the usual tell): old entries
+#: then stop matching and every cell recomputes.
+CACHE_SALT = "repro-cell-v1"
+
+#: Layout version of one cache entry; bump on incompatible changes (old
+#: entries are then rejected as corrupt and recomputed).
+ENTRY_FORMAT_VERSION = 1
+
+
+def default_probe_bytes() -> "tuple[int, int]":
+    """(payload, wire) sizes of the probes every campaign cell sends."""
+    return (PROBE_PAYLOAD_BYTES,
+            PROBE_PAYLOAD_BYTES + UDP_WIRE_OVERHEAD_BYTES)
+
+
+def cell_fingerprint(spec: "CampaignSpec", delta: float, seed: int,
+                     salt: str = CACHE_SALT) -> str:
+    """Stable SHA-256 hex digest of one cell's full causal input.
+
+    Two cells share a fingerprint exactly when nothing that can influence
+    the simulated result differs: scenario name + kwargs, δ, seed,
+    duration, warm-up, probe payload/wire bytes, and the code-version
+    ``salt``.  ``output_dir``, worker counts, and every other bit of
+    execution mechanics are deliberately excluded — they change where
+    results go, never what they are.
+    """
+    payload_bytes, wire_bytes = default_probe_bytes()
+    document = {
+        "scenario": spec.scenario,
+        "scenario_kwargs": spec.scenario_kwargs,
+        "delta": float(delta),
+        "seed": int(seed),
+        "duration": float(spec.duration),
+        "warmup": float(DEFAULT_WARMUP),
+        "payload_bytes": payload_bytes,
+        "wire_bytes": wire_bytes,
+        "salt": salt,
+    }
+    encoded = json.dumps(document, sort_keys=True, default=repr)
+    return hashlib.sha256(encoded.encode("utf-8")).hexdigest()
+
+
+class CampaignCache:
+    """On-disk, content-addressed store of campaign cell results.
+
+    Parameters
+    ----------
+    directory:
+        Where entries live; created on first use.  A cache directory can
+        be shared freely across campaigns, specs, and code versions —
+        addressing is by content fingerprint, so unrelated entries never
+        collide and stale ones are simply never hit.
+    refresh:
+        When True every lookup misses, so every cell recomputes and
+        overwrites its entry (the ``--refresh`` CLI flag).
+    salt:
+        Override of :data:`CACHE_SALT`, for tests.
+    """
+
+    def __init__(self, directory: Union[str, Path], refresh: bool = False,
+                 salt: str = CACHE_SALT) -> None:
+        self.directory = Path(directory)
+        self.refresh = bool(refresh)
+        self.salt = salt
+        self.directory.mkdir(parents=True, exist_ok=True)
+        #: Lifetime counters (pull-based metrics read these).
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.bytes_read = 0
+        self.bytes_written = 0
+        self.corrupt_entries = 0
+
+    # ------------------------------------------------------------------
+    def entry_path(self, spec: "CampaignSpec", delta: float,
+                   seed: int) -> Path:
+        """Filename of the cell's entry: human-readable key + fingerprint."""
+        from repro.experiments.campaign import cell_key
+        fingerprint = cell_fingerprint(spec, delta, seed, salt=self.salt)
+        return self.directory / f"{cell_key(delta, seed)}-{fingerprint}.npz"
+
+    def load(self, spec: "CampaignSpec", delta: float,
+             seed: int) -> Optional["CellResult"]:
+        """The cached result of one cell, or None (a miss).
+
+        Every failure mode — absent entry, truncated file, garbled JSON,
+        fingerprint/version mismatch — is a miss; corruption is logged and
+        counted, never raised, so a damaged cache only costs recomputation.
+        """
+        if self.refresh:
+            self.misses += 1
+            return None
+        path = self.entry_path(spec, delta, seed)
+        try:
+            size = path.stat().st_size
+        except OSError:
+            self.misses += 1
+            return None
+        try:
+            result = self._read_entry(
+                path, cell_fingerprint(spec, delta, seed, salt=self.salt))
+        except Exception as exc:
+            logger.warning("cache entry %s unreadable (%s); recomputing",
+                           path.name, exc)
+            self.corrupt_entries += 1
+            self.misses += 1
+            return None
+        self.hits += 1
+        self.bytes_read += size
+        return result
+
+    def store(self, spec: "CampaignSpec", delta: float, seed: int,
+              result: "CellResult") -> Path:
+        """Persist one cell result atomically (temp file + rename).
+
+        The entry only ever appears under its final name complete: a
+        killed run leaves at worst an orphaned ``.tmp-*`` file, never a
+        partial entry that a later run could mistake for a result.
+        """
+        path = self.entry_path(spec, delta, seed)
+        payload = json.dumps({
+            "entry_version": ENTRY_FORMAT_VERSION,
+            "fingerprint": cell_fingerprint(spec, delta, seed,
+                                            salt=self.salt),
+            "delta": float(result.delta),
+            "seed": int(result.seed),
+            # Order-preserving dumps (no sort_keys): queue_stats/metrics
+            # iteration order survives the round trip, keeping re-rendered
+            # tables byte-identical to the cold run.
+            "queue_stats": result.queue_stats,
+            "metrics": result.metrics,
+            "wall_seconds": float(result.wall_seconds),
+        })
+        fd, tmp_name = tempfile.mkstemp(dir=self.directory,
+                                        prefix=".tmp-", suffix=".npz")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                result.trace.save_npz(handle, extra={"cell": payload})
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.stores += 1
+        self.bytes_written += path.stat().st_size
+        return path
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _read_entry(path: Path, fingerprint: str) -> "CellResult":
+        from repro.experiments.campaign import CellResult
+        with np.load(path, allow_pickle=False) as data:
+            trace = ProbeTrace.from_npz_mapping(data)
+            payload = json.loads(str(data["cell"][()]))
+        if payload.get("entry_version") != ENTRY_FORMAT_VERSION:
+            raise AnalysisError(
+                f"entry version {payload.get('entry_version')!r}, "
+                f"expected {ENTRY_FORMAT_VERSION}")
+        if payload.get("fingerprint") != fingerprint:
+            raise AnalysisError("fingerprint mismatch (renamed or stale "
+                                "entry)")
+        return CellResult(delta=payload["delta"], seed=payload["seed"],
+                          trace=trace, queue_stats=payload["queue_stats"],
+                          metrics=payload["metrics"],
+                          wall_seconds=payload["wall_seconds"])
+
+    def __repr__(self) -> str:
+        return (f"<CampaignCache {self.directory} hits={self.hits} "
+                f"misses={self.misses} stores={self.stores}>")
+
+
+def resolve_cache(cache: Union["CampaignCache", str, Path, None],
+                  refresh: bool = False) -> Optional["CampaignCache"]:
+    """Coerce :func:`run_campaign`'s ``cache`` argument to a cache object.
+
+    Accepts an existing :class:`CampaignCache` (``refresh`` must then not
+    contradict it), a directory path, or None.
+    """
+    if cache is None:
+        if refresh:
+            raise ConfigurationError(
+                "refresh=True needs a cache to refresh")
+        return None
+    if isinstance(cache, (str, Path)):
+        return CampaignCache(cache, refresh=refresh)
+    if refresh and not cache.refresh:
+        raise ConfigurationError(
+            "refresh=True conflicts with a non-refresh CampaignCache; "
+            "construct it with CampaignCache(dir, refresh=True)")
+    return cache
+
+
+def instrument_cache(registry: "MetricsRegistry",
+                     cache: CampaignCache) -> None:
+    """Register the cache's lifetime counters as pull-based metrics.
+
+    Adds ``campaign/cache/{hits,misses,stores,bytes_read,bytes_written,
+    corrupt_entries}`` to ``registry``, each bound to the live counter on
+    ``cache`` — zero overhead until snapshot time, like every other
+    registry instrument.
+    """
+    names: Dict[str, Any] = {
+        "hits": ("lookups answered from disk", lambda: cache.hits),
+        "misses": ("lookups that fell through to simulation",
+                   lambda: cache.misses),
+        "stores": ("entries written", lambda: cache.stores),
+        "bytes_read": ("entry bytes loaded on hits",
+                       lambda: cache.bytes_read),
+        "bytes_written": ("entry bytes persisted on stores",
+                          lambda: cache.bytes_written),
+        "corrupt_entries": ("entries rejected as unreadable",
+                            lambda: cache.corrupt_entries),
+    }
+    for name, (description, source) in names.items():
+        registry.counter(f"campaign/cache/{name}", source=source,
+                         description=description)

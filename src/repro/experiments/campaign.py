@@ -16,20 +16,31 @@ same pure worker (:func:`_run_cell`) either way, and results are merged in
 parallel execution produce byte-identical tables, trace CSVs, and
 ``manifest.json``.  Only the ``timing.json`` sidecar (worker count,
 per-cell wall seconds) reflects how the run was executed.
+
+Cell purity also makes cells memoizable: pass ``cache=`` (a directory or
+:class:`~repro.experiments.cache.CampaignCache`) and :func:`run_campaign`
+consults the content-addressed cell cache before submitting work — only
+misses are simulated, hits are loaded from disk, and both are merged in
+grid order, so a warm re-run produces byte-identical artifacts to a cold
+one (the serial==parallel invariant extended to cold==warm).  Cache
+behaviour (hits, misses, byte volumes) is execution mechanics and lands in
+``timing.json``, never the manifest.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import re
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Optional, Sequence, Union
+from typing import Any, Dict, Optional, Sequence, Union
 
 from repro.analysis.loss import loss_stats
 from repro.analysis.stats import ReplicationSummary, replicate
 from repro.analysis.timeseries import summarize
 from repro.errors import ConfigurationError
+from repro.experiments.cache import CampaignCache, resolve_cache
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import run_experiment_timed
 from repro.net.routing import Network
@@ -120,6 +131,10 @@ class CampaignResult:
     cell_wall_seconds: dict[str, float] = field(default_factory=dict)
     #: worker processes the campaign was executed with.
     workers: int = 1
+    #: cell-cache accounting for this run (None when no cache was used):
+    #: hits/misses/bytes plus a per-cell hit-or-miss map.  Execution
+    #: mechanics only — lands in timing.json, never the manifest.
+    cache_stats: Optional[Dict[str, Any]] = None
 
     def table(self) -> str:
         """Per-δ metric table with cross-seed means."""
@@ -180,13 +195,21 @@ def collect_queue_stats(network: Network) -> dict[str, dict[str, float]]:
     return stats
 
 
+#: Ceiling applied to plg so cross-seed aggregation stays finite (plg is
+#: 1/(1-clp), which diverges as clp -> 1).
+PLG_CEILING = 1e6
+
+
 def _cell_metrics(trace: ProbeTrace) -> dict[str, float]:
     losses = loss_stats(trace)
     delay = summarize(trace)
     return {
         "ulp": losses.ulp,
         "clp": losses.clp,
-        "plg": min(losses.plg, 1e6),  # keep aggregation finite
+        "plg": min(losses.plg, PLG_CEILING),  # keep aggregation finite
+        # Surfaced so downstream aggregation can tell a true 1e6 from a
+        # clamped divergence (it used to be silent).
+        "plg_clamped": losses.plg > PLG_CEILING,
         "mean_rtt": delay.mean,
         "p99_rtt": delay.p99,
         "min_rtt": delay.minimum,
@@ -210,7 +233,9 @@ def _run_cell(spec: CampaignSpec, delta: float, seed: int) -> CellResult:
                       metrics=_cell_metrics(trace), wall_seconds=wall)
 
 
-def run_campaign(spec: CampaignSpec, workers: int = 1) -> CampaignResult:
+def run_campaign(spec: CampaignSpec, workers: int = 1,
+                 cache: Union[CampaignCache, str, Path, None] = None,
+                 ) -> CampaignResult:
     """Execute every (delta, seed) cell of the campaign.
 
     Parameters
@@ -223,23 +248,74 @@ def run_campaign(spec: CampaignSpec, workers: int = 1) -> CampaignResult:
         ``ProcessPoolExecutor``.  Both paths run the same per-cell worker
         and merge results in grid order, so the resulting tables, CSVs,
         and ``manifest.json`` are byte-identical either way.
+    cache:
+        Optional cell cache — a directory path or a
+        :class:`~repro.experiments.cache.CampaignCache`.  Cells whose
+        full causal input
+        is already cached are loaded instead of simulated; fresh results
+        are stored back.  A warm re-run writes byte-identical artifacts to
+        a cold one; only ``timing.json`` (and the result's
+        ``cache_stats``) records what was hit.
     """
     if workers < 1:
         raise ConfigurationError(f"workers must be >= 1, got {workers}")
+    cache = resolve_cache(cache)
     output_dir = Path(spec.output_dir) if spec.output_dir else None
     if output_dir:
         output_dir.mkdir(parents=True, exist_ok=True)
 
     grid = spec.cells()
-    if workers == 1:
-        results = [_run_cell(spec, delta, seed) for delta, seed in grid]
+    hits: dict[tuple[float, int], CellResult] = {}
+    pending = grid
+    bytes_read_before = bytes_written_before = 0
+    if cache is not None:
+        bytes_read_before = cache.bytes_read
+        bytes_written_before = cache.bytes_written
+        pending = []
+        for delta, seed in grid:
+            cell = cache.load(spec, delta, seed)
+            if cell is not None:
+                hits[(delta, seed)] = cell
+            else:
+                pending.append((delta, seed))
+
+    if not pending:
+        fresh = []
+    elif workers == 1:
+        fresh = [_run_cell(spec, delta, seed) for delta, seed in pending]
     else:
         with ProcessPoolExecutor(max_workers=workers) as pool:
             futures = [pool.submit(_run_cell, spec, delta, seed)
-                       for delta, seed in grid]
+                       for delta, seed in pending]
             # Collect in submission (= grid) order; completion order is
             # irrelevant to the merged result.
-            results = [future.result() for future in futures]
+            fresh = [future.result() for future in futures]
+
+    if cache is not None:
+        for cell in fresh:
+            cache.store(spec, cell.delta, cell.seed, cell)
+
+    # Merge hits and fresh results back into grid order: downstream
+    # artifacts must not depend on which cells came from where.
+    by_cell = dict(hits)
+    by_cell.update({(cell.delta, cell.seed): cell for cell in fresh})
+    results = [by_cell[(delta, seed)] for delta, seed in grid]
+
+    cache_stats: Optional[Dict[str, Any]] = None
+    if cache is not None:
+        cache_stats = {
+            "directory": str(cache.directory),
+            "refresh": cache.refresh,
+            "hits": len(hits),
+            "misses": len(grid) - len(hits),
+            "bytes_read": cache.bytes_read - bytes_read_before,
+            "bytes_written": cache.bytes_written - bytes_written_before,
+            "saved_cell_seconds": sum(
+                cell.wall_seconds for cell in hits.values()),
+            "cells": {cell_key(delta, seed):
+                      "hit" if (delta, seed) in hits else "miss"
+                      for delta, seed in grid},
+        }
 
     traces: dict[tuple[float, int], ProbeTrace] = {}
     queue_stats: dict[tuple[float, int], dict[str, dict[str, float]]] = {}
@@ -267,7 +343,8 @@ def run_campaign(spec: CampaignSpec, workers: int = 1) -> CampaignResult:
 
     result = CampaignResult(spec=spec, traces=traces, summaries=summaries,
                             queue_stats=queue_stats,
-                            cell_wall_seconds=cell_wall, workers=workers)
+                            cell_wall_seconds=cell_wall, workers=workers,
+                            cache_stats=cache_stats)
     if output_dir:
         # The manifest records exactly the files this campaign wrote —
         # never a directory listing, which would pick up leftovers from
@@ -281,14 +358,40 @@ def run_campaign(spec: CampaignSpec, workers: int = 1) -> CampaignResult:
                               for (d, s), stats in queue_stats.items()},
                    "traces": sorted(written)})
         write_timing(output_dir / "timing.json", workers=workers,
-                     cell_wall_seconds=cell_wall)
+                     cell_wall_seconds=cell_wall, cache=cache_stats)
     return result
 
 
+#: Campaign trace filename: trace_d<delta_ms>_s<seed>.csv (δ via %g).
+_TRACE_NAME = re.compile(
+    r"trace_d(?P<ms>[0-9.eE+-]+)_s(?P<seed>\d+)\.csv\Z")
+
+
+def _trace_order(path: Path) -> tuple:
+    """Deterministic (δ, seed) sort key parsed from a trace filename.
+
+    Filesystem glob order is locale/filesystem-dependent and lexicographic
+    ("d100" before "d8"); campaigns are (δ, seed) grids, so traces load in
+    numeric grid order.  Names that don't match the campaign pattern sort
+    after all grid traces, by name.
+    """
+    match = _TRACE_NAME.match(path.name)
+    if match is None:
+        return (1, 0.0, 0, path.name)
+    try:
+        delta_ms = float(match.group("ms"))
+    except ValueError:
+        return (1, 0.0, 0, path.name)
+    return (0, delta_ms, int(match.group("seed")), path.name)
+
+
 def load_campaign_traces(directory: Union[str, Path]) -> list[ProbeTrace]:
-    """Load every ``trace_*.csv`` previously saved by a campaign."""
+    """Load every ``trace_*.csv`` previously saved by a campaign.
+
+    Traces are returned in (δ, seed) grid order parsed from the
+    filenames — never in filesystem-glob order, which sorts "d100"
+    before "d8".
+    """
     directory = Path(directory)
-    traces = []
-    for path in sorted(directory.glob("trace_*.csv")):
-        traces.append(ProbeTrace.load_csv(path))
-    return traces
+    paths = sorted(directory.glob("trace_*.csv"), key=_trace_order)
+    return [ProbeTrace.load_csv(path) for path in paths]

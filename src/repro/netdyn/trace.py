@@ -9,11 +9,12 @@ traces are interchangeable.
 
 from __future__ import annotations
 
-import csv
+import io
 import json
+import zipfile
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Optional, Sequence, Union
+from typing import Any, BinaryIO, Mapping, Optional, Sequence, Union
 
 import numpy as np
 
@@ -22,6 +23,9 @@ from repro.units import seconds_to_ms
 
 #: Sentinel round-trip value for lost probes (the paper's convention).
 LOST = 0.0
+
+#: Layout version of the binary (npz) trace format; bump on changes.
+NPZ_FORMAT_VERSION = 1
 
 
 @dataclass
@@ -142,26 +146,70 @@ class ProbeTrace:
     # Persistence
     # ------------------------------------------------------------------
     def save_csv(self, path: Union[str, Path]) -> None:
-        """Write ``n, s_n, rtt_n`` rows; metadata goes in ``#`` comments."""
+        """Write ``n, s_n, rtt_n`` rows; metadata goes in ``#`` comments.
+
+        The row block is formatted in one batch (list comprehension over
+        plain-Python floats, a single ``join``, a single ``write``) rather
+        than through per-row ``csv.writer`` calls — several times faster on
+        long traces — while producing byte-identical output to the
+        historical writer (``\\n``-terminated header comments, ``\\r\\n``
+        row terminators, ``.9f`` fields; pinned by the golden-trace test).
+        """
         path = Path(path)
+        send_times = self.send_times.tolist()
+        rtts = self.rtts.tolist()
+        rows = [f"{n},{s:.9f},{r:.9f}"
+                for n, (s, r) in enumerate(zip(send_times, rtts))]
         with path.open("w", newline="") as handle:
             handle.write(f"# delta={self.delta!r}\n")
             handle.write(f"# payload_bytes={self.payload_bytes}\n")
             handle.write(f"# wire_bytes={self.wire_bytes}\n")
             handle.write(f"# meta={json.dumps(self.meta, sort_keys=True)}\n")
-            writer = csv.writer(handle)
-            writer.writerow(["n", "send_time", "rtt"])
-            for n, (s, r) in enumerate(zip(self.send_times, self.rtts)):
-                writer.writerow([n, f"{s:.9f}", f"{r:.9f}"])
+            handle.write("n,send_time,rtt\r\n")
+            if rows:
+                handle.write("\r\n".join(rows))
+                handle.write("\r\n")
+
+    @staticmethod
+    def _parse_rows_slow(path: Path, rows: "list[tuple[int, str]]",
+                         ) -> "tuple[list[float], list[float]]":
+        """Row-by-row data parse with exact ``file:line`` diagnostics.
+
+        The authoritative (historical) parser: the vectorized fast path in
+        :meth:`load_csv` defers to this whenever anything about the data
+        block looks unusual, so malformed rows always surface the same
+        :class:`AnalysisError` they did before vectorization.
+        """
+        send_times: list[float] = []
+        rtts: list[float] = []
+        for lineno, line in rows:
+            fields = line.split(",")
+            if len(fields) != 3:
+                raise AnalysisError(
+                    f"{path}:{lineno}: expected 3 fields "
+                    f"(n, send_time, rtt), got {len(fields)}: {line!r}")
+            try:
+                send_times.append(float(fields[1]))
+                rtts.append(float(fields[2]))
+            except ValueError as exc:
+                raise AnalysisError(
+                    f"{path}:{lineno}: non-numeric field in row "
+                    f"{line!r}") from exc
+        return send_times, rtts
 
     @classmethod
     def load_csv(cls, path: Union[str, Path]) -> "ProbeTrace":
-        """Read a trace written by :meth:`save_csv`."""
+        """Read a trace written by :meth:`save_csv`.
+
+        Well-formed data blocks are parsed in one ``np.loadtxt`` call (a C
+        parser, not a Python loop); any anomaly — wrong field count, a
+        non-numeric field — falls back to the row-by-row parser, which
+        raises :class:`AnalysisError` naming the exact file and line.
+        """
         path = Path(path)
         header: dict[str, Any] = {"delta": None, "payload_bytes": 32,
                                   "wire_bytes": 72, "meta": {}}
-        send_times: list[float] = []
-        rtts: list[float] = []
+        rows: list[tuple[int, str]] = []
         with path.open() as handle:
             for lineno, raw in enumerate(handle, start=1):
                 line = raw.strip()
@@ -178,27 +226,100 @@ class ProbeTrace:
                     continue
                 if line.startswith("n,"):
                     continue
-                fields = line.split(",")
-                if len(fields) != 3:
-                    raise AnalysisError(
-                        f"{path}:{lineno}: expected 3 fields "
-                        f"(n, send_time, rtt), got {len(fields)}: {line!r}")
-                try:
-                    send_times.append(float(fields[1]))
-                    rtts.append(float(fields[2]))
-                except ValueError as exc:
-                    raise AnalysisError(
-                        f"{path}:{lineno}: non-numeric field in row "
-                        f"{line!r}") from exc
+                rows.append((lineno, line))
+
+        send_times: Union[np.ndarray, list[float]]
+        rtts: Union[np.ndarray, list[float]]
+        if rows:
+            try:
+                block = np.loadtxt(
+                    io.StringIO("\n".join(line for _, line in rows)),
+                    delimiter=",", dtype=float, ndmin=2)
+            except Exception:
+                block = None
+            if block is not None and block.shape[1] == 3:
+                send_times, rtts = block[:, 1], block[:, 2]
+            else:
+                send_times, rtts = cls._parse_rows_slow(path, rows)
+        else:
+            send_times, rtts = [], []
         if header["delta"] is None:
             if len(send_times) >= 2:
-                header["delta"] = send_times[1] - send_times[0]
+                header["delta"] = float(send_times[1] - send_times[0])
             else:
                 raise AnalysisError(f"{path}: no delta header and <2 samples")
         return cls(delta=header["delta"], send_times=np.asarray(send_times),
                    rtts=np.asarray(rtts),
                    payload_bytes=header["payload_bytes"],
                    wire_bytes=header["wire_bytes"], meta=header["meta"])
+
+    def save_npz(self, file: Union[str, Path, BinaryIO],
+                 extra: Optional[Mapping[str, Any]] = None) -> None:
+        """Write the binary columnar form of the trace.
+
+        ``send_times`` and ``rtts`` are stored as raw float64 arrays (no
+        text round-trip, so the reload is bit-exact) and the scalar header
+        (delta, payload/wire bytes, free-form ``meta``) as one embedded
+        JSON document.  ``extra`` names additional arrays (or strings,
+        stored as 0-d unicode arrays) persisted alongside — the campaign
+        cell cache rides its cell payload on this.  ``file`` may be a path
+        or an open binary file object (the cache writes to a temp file and
+        renames it into place for atomicity).
+        """
+        header = json.dumps({
+            "format_version": NPZ_FORMAT_VERSION,
+            "delta": self.delta,
+            "payload_bytes": self.payload_bytes,
+            "wire_bytes": self.wire_bytes,
+            "meta": self.meta,
+        })
+        arrays: dict[str, np.ndarray] = {
+            "send_times": np.ascontiguousarray(self.send_times,
+                                               dtype=np.float64),
+            "rtts": np.ascontiguousarray(self.rtts, dtype=np.float64),
+            "header": np.array(header),
+        }
+        for name, value in (extra or {}).items():
+            if name in arrays:
+                raise AnalysisError(
+                    f"extra array {name!r} collides with a trace field")
+            arrays[name] = np.asarray(value)
+        if hasattr(file, "write"):
+            np.savez(file, **arrays)
+        else:
+            with Path(file).open("wb") as handle:  # type: ignore[arg-type]
+                np.savez(handle, **arrays)
+
+    @classmethod
+    def from_npz_mapping(cls, data: Mapping[str, np.ndarray]) -> "ProbeTrace":
+        """Rebuild a trace from the arrays of an open npz file.
+
+        Split out of :meth:`load_npz` so consumers that embed extra arrays
+        next to the trace (the campaign cell cache) can decode the trace
+        from an ``np.load`` handle they already hold.
+        """
+        header = json.loads(str(data["header"][()]))
+        return cls(delta=header["delta"],
+                   send_times=np.asarray(data["send_times"], dtype=float),
+                   rtts=np.asarray(data["rtts"], dtype=float),
+                   payload_bytes=header["payload_bytes"],
+                   wire_bytes=header["wire_bytes"], meta=header["meta"])
+
+    @classmethod
+    def load_npz(cls, path: Union[str, Path]) -> "ProbeTrace":
+        """Read a trace written by :meth:`save_npz`.
+
+        Raises :class:`AnalysisError` on anything unreadable — truncated
+        zip, missing arrays, garbled header JSON — so callers can treat a
+        damaged file as one condition.
+        """
+        path = Path(path)
+        try:
+            with np.load(path, allow_pickle=False) as data:
+                return cls.from_npz_mapping(data)
+        except (OSError, ValueError, KeyError, zipfile.BadZipFile) as exc:
+            raise AnalysisError(
+                f"{path}: not a readable ProbeTrace npz: {exc}") from exc
 
     def to_json(self) -> str:
         """Serialize the full trace as a JSON document."""

@@ -143,6 +143,51 @@ class TestRunCampaign:
         assert cell_key(0.1, 1) == "d100_s1"
         assert cell_key(0.008, 12) == "d8_s12"
 
+    def test_load_campaign_traces_in_grid_order(self, tmp_path):
+        # Regression: traces used to come back in filesystem-glob
+        # (lexicographic) order, which puts d100 before d8.  The loader
+        # must sort numerically by (delta, seed) parsed from the name.
+        def write(name, delta, seed):
+            (tmp_path / name).write_text(
+                f'# delta={delta!r}\n# meta={{"seed": {seed}}}\n'
+                f"n,send_time,rtt\n0,0.0,0.1\n1,{delta},0.2\n")
+        write("trace_d100_s2.csv", 0.1, 2)
+        write("trace_d100_s1.csv", 0.1, 1)
+        write("trace_d8_s1.csv", 0.008, 1)
+        write("trace_d50_s10.csv", 0.05, 10)
+        write("trace_d50_s9.csv", 0.05, 9)
+        loaded = load_campaign_traces(tmp_path)
+        assert [(t.delta, t.meta["seed"]) for t in loaded] == \
+            [(0.008, 1), (0.05, 9), (0.05, 10), (0.1, 1), (0.1, 2)]
+
+
+class TestCellMetrics:
+    def test_plg_clamp_surfaced(self):
+        from repro.experiments.campaign import PLG_CEILING, _cell_metrics
+        from repro.netdyn.trace import ProbeTrace
+
+        # Every probe after the first is lost => clp == 1 => plg diverges.
+        diverging = ProbeTrace.from_samples(
+            delta=0.05, rtts=[0.1] + [0.0] * 20)
+        metrics = _cell_metrics(diverging)
+        assert metrics["plg"] == PLG_CEILING
+        assert metrics["plg_clamped"] is True
+
+        healthy = ProbeTrace.from_samples(
+            delta=0.05, rtts=[0.1, 0.0, 0.1, 0.1, 0.0, 0.1] * 5)
+        metrics = _cell_metrics(healthy)
+        assert metrics["plg"] < PLG_CEILING
+        assert metrics["plg_clamped"] is False
+
+    def test_plg_clamped_flows_into_manifest_and_summaries(self, tmp_path):
+        from repro.obs import read_manifest
+        spec = small_spec(output_dir=tmp_path)
+        result = run_campaign(spec)
+        manifest = read_manifest(tmp_path / "manifest.json")
+        cell = manifest["metrics"]["cells"]["d100_s1"]
+        assert cell["plg_clamped"] in (True, False)
+        assert "plg_clamped" in result.summaries[0.1].values
+
 
 class TestParallelCampaign:
     """Parallel and serial execution must be indistinguishable on disk."""

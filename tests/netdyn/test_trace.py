@@ -131,6 +131,116 @@ class TestLoadCsvMalformedRows:
             ProbeTrace.load_csv(path)
 
 
+class TestSaveCsvByteFormat:
+    """The batched CSV writer must keep the historical byte format.
+
+    Reference bytes are produced by the original per-row ``csv.writer``
+    implementation, so any drift in terminators, field formatting, or
+    header layout shows up as a byte diff (the golden-trace test pins the
+    same property on a real simulated trace).
+    """
+
+    @staticmethod
+    def _legacy_save_csv(trace, path):
+        import csv
+        import json as json_module
+        with path.open("w", newline="") as handle:
+            handle.write(f"# delta={trace.delta!r}\n")
+            handle.write(f"# payload_bytes={trace.payload_bytes}\n")
+            handle.write(f"# wire_bytes={trace.wire_bytes}\n")
+            handle.write(
+                f"# meta={json_module.dumps(trace.meta, sort_keys=True)}\n")
+            writer = csv.writer(handle)
+            writer.writerow(["n", "send_time", "rtt"])
+            for n, (s, r) in enumerate(zip(trace.send_times, trace.rtts)):
+                writer.writerow([n, f"{s:.9f}", f"{r:.9f}"])
+
+    def test_matches_legacy_writer(self, tmp_path):
+        trace = make_trace([0.1, 0.0, 0.12345678949, 3.0],
+                           meta={"scenario": "x", "mu_bps": 128e3})
+        trace.save_csv(tmp_path / "new.csv")
+        self._legacy_save_csv(trace, tmp_path / "old.csv")
+        assert (tmp_path / "new.csv").read_bytes() == \
+            (tmp_path / "old.csv").read_bytes()
+
+    def test_empty_trace_matches_legacy_writer(self, tmp_path):
+        trace = ProbeTrace(delta=0.05, send_times=np.array([]),
+                           rtts=np.array([]))
+        trace.save_csv(tmp_path / "new.csv")
+        self._legacy_save_csv(trace, tmp_path / "old.csv")
+        assert (tmp_path / "new.csv").read_bytes() == \
+            (tmp_path / "old.csv").read_bytes()
+
+    def test_load_save_is_identity_on_disk(self, tmp_path):
+        trace = make_trace([0.1, 0.0, 0.2], meta={"seed": 3})
+        trace.save_csv(tmp_path / "a.csv")
+        ProbeTrace.load_csv(tmp_path / "a.csv").save_csv(tmp_path / "b.csv")
+        assert (tmp_path / "a.csv").read_bytes() == \
+            (tmp_path / "b.csv").read_bytes()
+
+
+class TestNpzPersistence:
+    def test_roundtrip_bit_exact(self, tmp_path):
+        trace = make_trace([0.1, 0.0, 1 / 3, 0.2],
+                           meta={"scenario": "inria-umd", "seed": 7,
+                                 "mu_bps": 128e3},
+                           payload_bytes=64, wire_bytes=104)
+        trace.save_npz(tmp_path / "t.npz")
+        loaded = ProbeTrace.load_npz(tmp_path / "t.npz")
+        # Binary columnar storage: no text round-trip, so bit equality.
+        assert loaded.send_times.tobytes() == trace.send_times.tobytes()
+        assert loaded.rtts.tobytes() == trace.rtts.tobytes()
+        assert loaded.delta == trace.delta
+        assert loaded.payload_bytes == 64
+        assert loaded.wire_bytes == 104
+        assert loaded.meta == trace.meta
+
+    def test_extra_arrays_stored_and_ignored_by_loader(self, tmp_path):
+        trace = make_trace([0.1, 0.2])
+        trace.save_npz(tmp_path / "t.npz", extra={"cell": "payload"})
+        with np.load(tmp_path / "t.npz") as data:
+            assert str(data["cell"][()]) == "payload"
+        assert len(ProbeTrace.load_npz(tmp_path / "t.npz")) == 2
+
+    def test_extra_cannot_shadow_trace_fields(self, tmp_path):
+        trace = make_trace([0.1])
+        with pytest.raises(AnalysisError):
+            trace.save_npz(tmp_path / "t.npz",
+                           extra={"rtts": np.array([9.0])})
+
+    def test_truncated_file_raises_analysis_error(self, tmp_path):
+        trace = make_trace([0.1, 0.2])
+        trace.save_npz(tmp_path / "t.npz")
+        raw = (tmp_path / "t.npz").read_bytes()
+        (tmp_path / "t.npz").write_bytes(raw[:len(raw) // 2])
+        with pytest.raises(AnalysisError, match="t.npz"):
+            ProbeTrace.load_npz(tmp_path / "t.npz")
+
+    def test_garbage_file_raises_analysis_error(self, tmp_path):
+        (tmp_path / "t.npz").write_bytes(b"garbage")
+        with pytest.raises(AnalysisError, match="t.npz"):
+            ProbeTrace.load_npz(tmp_path / "t.npz")
+
+    def test_missing_file_raises_analysis_error(self, tmp_path):
+        with pytest.raises(AnalysisError):
+            ProbeTrace.load_npz(tmp_path / "absent.npz")
+
+
+@settings(max_examples=80, deadline=None)
+@given(rtts=st.lists(
+    st.one_of(st.just(0.0), st.floats(1e-4, 10.0)), min_size=1, max_size=50),
+    delta=st.floats(1e-3, 1.0))
+def test_npz_roundtrip_property(tmp_path_factory, rtts, delta):
+    """save_npz -> load_npz is bit-exact on all trace contents."""
+    trace = ProbeTrace.from_samples(delta=delta, rtts=rtts)
+    path = tmp_path_factory.mktemp("npz") / "t.npz"
+    trace.save_npz(path)
+    loaded = ProbeTrace.load_npz(path)
+    assert loaded.rtts.tobytes() == trace.rtts.tobytes()
+    assert loaded.send_times.tobytes() == trace.send_times.tobytes()
+    assert loaded.delta == trace.delta
+
+
 @settings(max_examples=80, deadline=None)
 @given(rtts=st.lists(
     st.one_of(st.just(0.0), st.floats(1e-4, 10.0)), min_size=1, max_size=50),

@@ -117,6 +117,46 @@ class TestCampaignCli:
         with pytest.raises(SystemExit):
             cli.main_campaign(["--workers", "0"])
 
+    def test_cache_dir_flag_warm_run_all_hits(self, tmp_path, capsys):
+        args = ["--deltas-ms", "100", "--seeds", "1", "--duration", "5",
+                "--cache-dir", str(tmp_path / "cache")]
+        assert cli.main_campaign(args) == 0
+        assert "cache: 0 hits, 1 miss" in capsys.readouterr().out
+        assert cli.main_campaign(args) == 0
+        assert "cache: 1 hit, 0 misses" in capsys.readouterr().out
+
+    def test_no_cache_overrides_cache_dir(self, tmp_path, capsys):
+        code = cli.main_campaign(
+            ["--deltas-ms", "100", "--seeds", "1", "--duration", "5",
+             "--cache-dir", str(tmp_path / "cache"), "--no-cache"])
+        assert code == 0
+        assert "cache:" not in capsys.readouterr().out
+        assert not (tmp_path / "cache").exists()
+
+    def test_env_var_default_cache_dir(self, tmp_path, capsys,
+                                       monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "envcache"))
+        code = cli.main_campaign(["--deltas-ms", "100", "--seeds", "1",
+                                  "--duration", "5"])
+        assert code == 0
+        assert "cache: 0 hits, 1 miss" in capsys.readouterr().out
+        assert list((tmp_path / "envcache").glob("*.npz"))
+
+    def test_refresh_requires_cache_dir(self):
+        with pytest.raises(SystemExit):
+            cli.main_campaign(["--refresh"])
+        with pytest.raises(SystemExit):
+            cli.main_campaign(["--refresh", "--no-cache",
+                               "--cache-dir", "somewhere"])
+
+    def test_refresh_recomputes(self, tmp_path, capsys):
+        base = ["--deltas-ms", "100", "--seeds", "1", "--duration", "5",
+                "--cache-dir", str(tmp_path / "cache")]
+        assert cli.main_campaign(base) == 0
+        capsys.readouterr()
+        assert cli.main_campaign(base + ["--refresh"]) == 0
+        assert "cache: 0 hits, 1 miss" in capsys.readouterr().out
+
 
 class TestFiguresCli:
     def test_single_figure(self, capsys):
