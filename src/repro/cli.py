@@ -211,6 +211,9 @@ def main_campaign(argv: Optional[Sequence[str]] = None) -> int:
               f"{'es' if stats['misses'] != 1 else ''} "
               f"({stats['saved_cell_seconds']:.1f}s of cell work saved, "
               f"{stats['directory']})")
+        if cache is not None:
+            print(f"cache salt: {cache.salt} (derived from reachable "
+                  f"code; see repro-audit fingerprint)")
     print()
     print(result.table())
     print()

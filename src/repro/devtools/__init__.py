@@ -11,28 +11,43 @@ everywhere in ``src/repro``:
   with conversions expressed through :mod:`repro.units` helpers rather than
   hand-written ``* 1e-3`` style literals.
 
-:mod:`repro.devtools.audit` is an AST-based linter that enforces these (plus
-simulator-encapsulation and error-handling rules) over the source tree.  Run
-it as ``repro-audit`` or ``python -m repro.devtools.audit``; suppress a
+Two layers enforce them.  Per-file rules (:class:`Rule`) lint one module at
+a time.  Whole-program rules (:class:`ProjectRule`) see the full project —
+symbol table (:mod:`repro.devtools.symbols`), call graph
+(:mod:`repro.devtools.callgraph`) — and check *reachability*: entropy is
+fine in live-measurement code, but not reachable from the simulation
+kernel.  The same machinery derives the campaign cell-cache salt from
+normalized-AST fingerprints of reachable code
+(:mod:`repro.devtools.fingerprint`), replacing the old hand-bumped
+constant.
+
+Run the linter as ``repro-audit`` or ``python -m repro.devtools.audit``;
+inspect the derived salt with ``repro-audit fingerprint``; suppress a
 finding on one line with ``# repro: noqa[RULE]``.
 """
 
 from repro.devtools.core import (
     FileContext,
     Finding,
+    ProjectRule,
     Rule,
+    all_project_rules,
     all_rules,
     audit_source,
     get_rule,
     register,
+    register_project,
 )
 
 __all__ = [
     "FileContext",
     "Finding",
+    "ProjectRule",
     "Rule",
+    "all_project_rules",
     "all_rules",
     "audit_source",
     "get_rule",
     "register",
+    "register_project",
 ]

@@ -17,7 +17,21 @@ import ast
 import re
 from dataclasses import dataclass, field
 from pathlib import PurePath
-from typing import ClassVar, Dict, Iterator, List, Optional, Sequence, Set, Type
+from typing import (
+    TYPE_CHECKING,
+    ClassVar,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Type,
+    Union,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.devtools.symbols import Project
 
 #: Matches a suppression comment; group 1 is the optional rule-id list.
 _NOQA_RE = re.compile(r"#\s*repro:\s*noqa(?:\[([A-Za-z0-9_,\s]+)\])?")
@@ -77,10 +91,13 @@ class FileContext:
             ``PARSE001`` finding.
         """
         tree = ast.parse(source, filename=path)
+        suppressions = expand_statement_suppressions(
+            tree, parse_suppressions(source))
         return cls(path=path, source=source, tree=tree,
-                   suppressions=parse_suppressions(source))
+                   suppressions=suppressions)
 
-    def finding(self, rule: "Rule", node: ast.AST, message: str) -> Finding:
+    def finding(self, rule: Union["Rule", "ProjectRule"], node: ast.AST,
+                message: str) -> Finding:
         """Build a :class:`Finding` anchored at ``node``."""
         return Finding(rule=rule.rule_id, path=self.path,
                        line=getattr(node, "lineno", 1),
@@ -111,6 +128,48 @@ def parse_suppressions(source: str) -> Dict[int, Set[str]]:
     return suppressed
 
 
+#: Statement types whose physical extent a trailing noqa comment covers.
+#: Compound statements (if/for/def/class/...) are excluded: a noqa inside
+#: their body must not bleed onto the header line.
+_SIMPLE_STATEMENTS = (
+    ast.Expr, ast.Assign, ast.AnnAssign, ast.AugAssign, ast.Return,
+    ast.Raise, ast.Assert, ast.Delete, ast.Import, ast.ImportFrom,
+    ast.Global, ast.Nonlocal,
+)
+
+
+def expand_statement_suppressions(
+        tree: ast.AST,
+        suppressed: Dict[int, Set[str]]) -> Dict[int, Set[str]]:
+    """Spread suppressions across multi-line simple statements.
+
+    A call or expression wrapped over several lines reports its findings
+    at the statement's *first* line, while the natural place for the noqa
+    comment is the *closing* line.  For every simple (non-compound)
+    statement, a suppression on any of its physical lines therefore
+    covers every line of the statement — in particular the first.
+    """
+    if not suppressed:
+        return suppressed
+    expanded: Dict[int, Set[str]] = {line: set(ids)
+                                     for line, ids in suppressed.items()}
+    for node in ast.walk(tree):
+        if not isinstance(node, _SIMPLE_STATEMENTS):
+            continue
+        first = node.lineno
+        last = getattr(node, "end_lineno", None)
+        if last is None or last <= first:
+            continue
+        ids: Set[str] = set()
+        for line in range(first, last + 1):
+            ids |= suppressed.get(line, set())
+        if not ids:
+            continue
+        for line in range(first, last + 1):
+            expanded.setdefault(line, set()).update(ids)
+    return expanded
+
+
 class Rule:
     """Base class for audit rules.
 
@@ -134,16 +193,52 @@ class Rule:
         raise NotImplementedError
 
 
+class ProjectRule:
+    """Base class for whole-program rules.
+
+    Unlike :class:`Rule`, a project rule sees the entire indexed
+    :class:`~repro.devtools.symbols.Project` at once — symbol table,
+    import graph, call graph — and can reason across function and module
+    boundaries.  Findings still anchor to a file/line, so per-line
+    ``# repro: noqa[...]`` suppressions apply exactly as for file rules.
+    """
+
+    rule_id: ClassVar[str] = ""
+    summary: ClassVar[str] = ""
+    exempt_suffixes: ClassVar[Sequence[str]] = ()
+
+    def applies_to(self, path: str) -> bool:
+        """Whether findings may be reported against ``path``."""
+        posix = PurePath(path).as_posix()
+        return not any(posix.endswith(suffix) for suffix in self.exempt_suffixes)
+
+    def check_project(self, project: "Project") -> Iterator[Finding]:
+        """Yield findings for the whole project."""
+        raise NotImplementedError
+
+
 _REGISTRY: Dict[str, Type[Rule]] = {}
+_PROJECT_REGISTRY: Dict[str, Type[ProjectRule]] = {}
+
+
+def _guard_rule_id(rule_cls: Union[Type[Rule], Type[ProjectRule]]) -> None:
+    if not rule_cls.rule_id:
+        raise ValueError(f"{rule_cls.__name__} has no rule_id")
+    if rule_cls.rule_id in _REGISTRY or rule_cls.rule_id in _PROJECT_REGISTRY:
+        raise ValueError(f"duplicate rule id {rule_cls.rule_id}")
 
 
 def register(rule_cls: Type[Rule]) -> Type[Rule]:
     """Class decorator adding ``rule_cls`` to the global registry."""
-    if not rule_cls.rule_id:
-        raise ValueError(f"{rule_cls.__name__} has no rule_id")
-    if rule_cls.rule_id in _REGISTRY:
-        raise ValueError(f"duplicate rule id {rule_cls.rule_id}")
+    _guard_rule_id(rule_cls)
     _REGISTRY[rule_cls.rule_id] = rule_cls
+    return rule_cls
+
+
+def register_project(rule_cls: Type[ProjectRule]) -> Type[ProjectRule]:
+    """Class decorator adding a whole-program rule to the registry."""
+    _guard_rule_id(rule_cls)
+    _PROJECT_REGISTRY[rule_cls.rule_id] = rule_cls
     return rule_cls
 
 
@@ -152,6 +247,7 @@ def _load_builtin_rules() -> None:
     from repro.devtools import (  # noqa: F401  (imported for side effects)
         rules_determinism,
         rules_errors,
+        rules_flow,
         rules_obs,
         rules_perf,
         rules_sim,
@@ -160,13 +256,20 @@ def _load_builtin_rules() -> None:
 
 
 def all_rules() -> List[Rule]:
-    """Instantiate every registered rule, sorted by id."""
+    """Instantiate every registered per-file rule, sorted by id."""
     _load_builtin_rules()
     return [_REGISTRY[rule_id]() for rule_id in sorted(_REGISTRY)]
 
 
-def get_rule(rule_id: str) -> Rule:
-    """Instantiate the registered rule ``rule_id``.
+def all_project_rules() -> List[ProjectRule]:
+    """Instantiate every registered whole-program rule, sorted by id."""
+    _load_builtin_rules()
+    return [_PROJECT_REGISTRY[rule_id]()
+            for rule_id in sorted(_PROJECT_REGISTRY)]
+
+
+def get_rule(rule_id: str) -> Union[Rule, ProjectRule]:
+    """Instantiate the registered rule ``rule_id`` (file or project).
 
     Raises
     ------
@@ -174,6 +277,8 @@ def get_rule(rule_id: str) -> Rule:
         If no rule with that id exists.
     """
     _load_builtin_rules()
+    if rule_id in _PROJECT_REGISTRY:
+        return _PROJECT_REGISTRY[rule_id]()
     return _REGISTRY[rule_id]()
 
 

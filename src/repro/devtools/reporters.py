@@ -1,11 +1,11 @@
-"""Render audit findings as human text or machine-readable JSON."""
+"""Render audit findings as text, JSON, or GitHub workflow annotations."""
 
 from __future__ import annotations
 
 import json
-from typing import List, Sequence
+from typing import List, Sequence, Union
 
-from repro.devtools.core import Finding, Rule
+from repro.devtools.core import Finding, ProjectRule, Rule
 
 
 def render_text(findings: Sequence[Finding], files_checked: int = 0) -> str:
@@ -31,7 +31,42 @@ def render_json(findings: Sequence[Finding], files_checked: int = 0) -> str:
     return json.dumps(payload, indent=2, sort_keys=True)
 
 
-def render_rule_list(rules: Sequence[Rule]) -> str:
+def _escape_github(value: str, in_property: bool = False) -> str:
+    """Escape data for GitHub workflow commands.
+
+    Messages escape ``%``/CR/LF; property values (file, title) additionally
+    escape ``:`` and ``,`` which delimit the property list.
+    """
+    value = (value.replace("%", "%25")
+             .replace("\r", "%0D")
+             .replace("\n", "%0A"))
+    if in_property:
+        value = value.replace(":", "%3A").replace(",", "%2C")
+    return value
+
+
+def render_github(findings: Sequence[Finding], files_checked: int = 0) -> str:
+    """GitHub Actions ``::error`` annotations, one per finding.
+
+    Columns are 1-based in the annotation syntax (findings store 0-based
+    AST column offsets).  A plain summary line follows the annotations so
+    the raw log stays readable.
+    """
+    lines = [
+        f"::error file={_escape_github(f.path, in_property=True)},"
+        f"line={f.line},col={f.col + 1},"
+        f"title={_escape_github(f.rule, in_property=True)}"
+        f"::{_escape_github(f.message)}"
+        for f in findings
+    ]
+    noun = "finding" if len(findings) == 1 else "findings"
+    file_noun = "file" if files_checked == 1 else "files"
+    suffix = f" across {files_checked} {file_noun}" if files_checked else ""
+    lines.append(f"{len(findings)} {noun}{suffix}")
+    return "\n".join(lines)
+
+
+def render_rule_list(rules: Sequence[Union[Rule, ProjectRule]]) -> str:
     """One-line-per-rule listing for ``repro-audit --list-rules``."""
     width = max((len(rule.rule_id) for rule in rules), default=0)
     return "\n".join(f"{rule.rule_id:<{width}}  {rule.summary}"

@@ -1,0 +1,277 @@
+"""Whole-program flow rules: FLOW001/FLOW002 (RNG provenance) and UNIT003.
+
+The per-file determinism rules (:mod:`repro.devtools.rules_determinism`)
+flag entropy calls wherever they appear; these rules add the missing
+*reachability* dimension: entropy in ``repro.netdyn.live`` is fine (it
+measures a real network), the same call reachable from the simulation
+kernel or the campaign cache worker silently poisons cached, supposedly
+seed-deterministic results.  Each finding's message carries the call-graph
+provenance chain that makes the code reachable, so a violation is
+actionable without re-running the analysis by hand.
+
+``UNIT003`` extends the per-file unit discipline (UNIT001/UNIT002) across
+function boundaries: a value converted *out* of SI units for display
+(``seconds_to_ms(...)``) must not flow back into computation code that,
+per DESIGN.md, assumes SI everywhere.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.devtools.callgraph import CallGraph, kernel_reachable
+from repro.devtools.core import (
+    Finding,
+    ProjectRule,
+    register_project,
+)
+from repro.devtools.imports import attribute_chain, resolve_call_path
+from repro.devtools.symbols import Project
+
+#: Entry points whose transitive callees must stay seed-deterministic:
+#: the campaign cache worker and the simulation kernel's main loop.
+KERNEL_ROOTS: Tuple[str, ...] = (
+    "repro.experiments.campaign._run_cell",
+    "repro.sim.kernel.Simulator.run",
+)
+
+#: Wall-clock and entropy call targets banned in kernel-reachable code.
+#: Wider than the per-file DET001 set: ``time.monotonic`` and
+#: ``time.perf_counter`` are legitimate for live-network measurement but
+#: have no business influencing a simulated result.
+_ENTROPY_CALLS = {
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.process_time",
+    "time.process_time_ns",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+    "os.urandom",
+    "os.getrandom",
+    "uuid.uuid1",
+    "uuid.uuid4",
+}
+
+#: Module prefixes whose every call target is unseeded/global RNG state.
+_ENTROPY_PREFIXES = ("random.", "numpy.random.", "secrets.")
+
+
+def _provenance(chain: List[str]) -> str:
+    """Render a root-to-unit call chain for a finding message."""
+    return " -> ".join(chain)
+
+
+@register_project
+class KernelEntropyFlowRule(ProjectRule):
+    """FLOW001: no unseeded entropy or wall clock reachable from the kernel."""
+
+    rule_id = "FLOW001"
+    summary = ("entropy/wall-clock calls reachable from the simulation "
+               "kernel or campaign worker must flow through seeded "
+               "RandomStreams or be hoisted out of the simulated path")
+    # RandomStreams is the one sanctioned numpy.random client.
+    exempt_suffixes = ("repro/sim/random.py",)
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        result = kernel_reachable(project, KERNEL_ROOTS)
+        if result is None:
+            return
+        graph, reach = result
+        for unit_name in reach.units():
+            unit = graph.units[unit_name]
+            module = project.modules[unit.module]
+            if not self.applies_to(module.path):
+                continue
+            for node in unit.walk():
+                if not isinstance(node, ast.Call):
+                    continue
+                chain = attribute_chain(node.func)
+                if chain is None or chain[0] not in module.imports.bindings:
+                    continue
+                path = resolve_call_path(node.func, module.imports)
+                if path is None:
+                    continue
+                if path in _ENTROPY_CALLS \
+                        or path.startswith(_ENTROPY_PREFIXES):
+                    yield module.context.finding(
+                        self, node,
+                        f"`{path}` is reachable from the simulation kernel "
+                        f"(via {_provenance(reach.chain(unit_name))}); "
+                        f"results must be a pure function of the seed — "
+                        f"draw from `sim.streams.get(name)` or move the "
+                        f"call off the simulated path")
+
+
+@register_project
+class KernelOrderHazardRule(ProjectRule):
+    """FLOW002: no namespace/environment order hazards near the kernel."""
+
+    rule_id = "FLOW002"
+    summary = ("globals()/vars() and os.environ reads reachable from the "
+               "kernel make results depend on interpreter namespace or "
+               "host environment instead of the experiment spec")
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        result = kernel_reachable(project, KERNEL_ROOTS)
+        if result is None:
+            return
+        graph, reach = result
+        seen: Set[Tuple[str, int, int]] = set()
+        for unit_name in reach.units():
+            unit = graph.units[unit_name]
+            module = project.modules[unit.module]
+            if not self.applies_to(module.path):
+                continue
+            via = None
+            for node in unit.walk():
+                finding = None
+                if (isinstance(node, ast.Call)
+                        and isinstance(node.func, ast.Name)
+                        and node.func.id in ("globals", "vars", "locals")):
+                    if via is None:
+                        via = _provenance(reach.chain(unit_name))
+                    finding = module.context.finding(
+                        self, node,
+                        f"`{node.func.id}()` in kernel-reachable code "
+                        f"(via {via}) couples results to interpreter "
+                        f"namespace contents; pass state explicitly")
+                elif isinstance(node, ast.Attribute):
+                    chain = attribute_chain(node)
+                    if chain is None \
+                            or chain[0] not in module.imports.bindings:
+                        continue
+                    root = module.imports.bindings[chain[0]]
+                    path = ".".join([root] + chain[1:])
+                    if path == "os.environ" \
+                            or path.startswith("os.environ."):
+                        if via is None:
+                            via = _provenance(reach.chain(unit_name))
+                        finding = module.context.finding(
+                            self, node,
+                            f"`os.environ` read in kernel-reachable code "
+                            f"(via {via}) makes cached cells depend on the "
+                            f"host environment; plumb configuration "
+                            f"through the experiment spec instead")
+                if finding is None:
+                    continue
+                key = (finding.path, finding.line, finding.col)
+                if key in seen:
+                    continue
+                seen.add(key)
+                yield finding
+
+
+#: OUT-converters: calling one tags the value with a display unit.
+_OUT_TAGS = {
+    "repro.units.seconds_to_ms": "ms",
+    "repro.units.seconds_to_us": "us",
+    "repro.units.bps_to_kbps": "kb/s",
+    "repro.units.bps_to_mbps": "Mb/s",
+    "repro.units.bits_to_bytes": "bytes",
+}
+
+#: IN-converters: each accepts exactly one display unit and yields SI.
+_IN_ACCEPTS = {
+    "repro.units.ms": "ms",
+    "repro.units.us": "us",
+    "repro.units.kbps": "kb/s",
+    "repro.units.mbps": "Mb/s",
+    "repro.units.bytes_to_bits": "bytes",
+}
+
+#: Module prefixes that are display/tooling boundaries where non-SI
+#: values are expected (axis labels, CLI tables, analyzer internals).
+_DISPLAY_PREFIXES = ("repro.plotting", "repro.cli", "repro.devtools")
+
+
+def _is_display_module(name: str) -> bool:
+    return any(name == prefix or name.startswith(prefix + ".")
+               for prefix in _DISPLAY_PREFIXES)
+
+
+@register_project
+class InterproceduralUnitsRule(ProjectRule):
+    """UNIT003: display-unit values must not cross into computation code."""
+
+    rule_id = "UNIT003"
+    summary = ("a value converted out of SI units (seconds_to_ms, "
+               "bps_to_kbps, ...) may only flow to display code or a "
+               "matching inverse converter, never into computation that "
+               "assumes SI")
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        graph = CallGraph(project)
+        tags = self._return_tags(project, graph)
+        for unit_name in sorted(graph.units):
+            unit = graph.units[unit_name]
+            if _is_display_module(unit.module):
+                continue
+            module = project.modules[unit.module]
+            if not self.applies_to(module.path):
+                continue
+            for node in unit.walk():
+                if not isinstance(node, ast.Call):
+                    continue
+                callee = graph.resolve_call(node.func, unit.module)
+                if callee is None or callee not in project.functions:
+                    continue
+                callee_module = project.functions[callee].module
+                if _is_display_module(callee_module):
+                    continue
+                for arg in list(node.args) + [kw.value
+                                              for kw in node.keywords]:
+                    if not isinstance(arg, ast.Call):
+                        continue
+                    source = graph.resolve_call(arg.func, unit.module)
+                    tag = tags.get(source or "")
+                    if tag is None:
+                        continue
+                    if _IN_ACCEPTS.get(callee) == tag:
+                        continue  # matching inverse converter: back to SI
+                    yield module.context.finding(
+                        self, arg,
+                        f"value in {tag} (from `{source}`) is passed to "
+                        f"`{callee}`, which assumes SI units per "
+                        f"DESIGN.md; convert at the display boundary or "
+                        f"pass the SI value")
+
+    def _return_tags(self, project: Project,
+                     graph: CallGraph) -> Dict[str, str]:
+        """Display-unit tag of each function's return value, to fixpoint.
+
+        Seeded with the ``repro.units`` OUT-converters; a function that
+        returns a call to a tagged function inherits its tag, so wrappers
+        like ``def delay_ms(r): return seconds_to_ms(r.delay)`` propagate.
+        """
+        tags: Dict[str, str] = dict(_OUT_TAGS)
+        changed = True
+        while changed:
+            changed = False
+            for qualname, info in project.functions.items():
+                if qualname in tags:
+                    continue
+                tag = self._returned_tag(info.node, info.module, graph, tags)
+                if tag is not None:
+                    tags[qualname] = tag
+                    changed = True
+        return tags
+
+    @staticmethod
+    def _returned_tag(node: ast.AST, module: str, graph: CallGraph,
+                      tags: Dict[str, str]) -> Optional[str]:
+        for child in ast.walk(node):
+            if not isinstance(child, ast.Return) or child.value is None:
+                continue
+            if not isinstance(child.value, ast.Call):
+                continue
+            target = graph.resolve_call(child.value.func, module)
+            if target is not None and target in tags:
+                return tags[target]
+        return None

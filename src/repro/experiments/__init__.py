@@ -1,8 +1,8 @@
 """Calibrated experiments: one function per table/figure of the paper."""
 
 from repro.experiments.cache import (
-    CACHE_SALT,
     CampaignCache,
+    cache_salt,
     cell_fingerprint,
     instrument_cache,
 )
@@ -46,9 +46,19 @@ from repro.experiments.runner import (
     run_observed_experiment,
 )
 
+def __getattr__(name: str) -> str:
+    # CACHE_SALT is derived from the package sources on first use (see
+    # repro.experiments.cache.cache_salt); keep it lazy so importing this
+    # package does not parse the whole tree.
+    if name == "CACHE_SALT":
+        return cache_salt()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
     "CACHE_SALT",
     "CampaignCache",
+    "cache_salt",
     "CampaignSpec",
     "CampaignResult",
     "cell_fingerprint",

@@ -13,9 +13,14 @@ The governing invariant (DESIGN.md): **a cache hit is byte-identical to a
 cold run; the cache is an optimization, never an input.**  Concretely:
 
 * The fingerprint covers *every* input that can influence a cell's output,
-  including :data:`CACHE_SALT` — a code-version salt bumped whenever
-  kernel/traffic semantics change, so a stale cache can never leak results
-  produced by different simulation code.
+  including the code itself: :func:`cache_salt` derives a salt from the
+  normalized-AST fingerprints of every module reachable from the campaign
+  worker (see :mod:`repro.devtools.fingerprint`), so a semantic edit to
+  kernel/traffic/topology code invalidates old entries automatically while
+  comment/docstring-only edits leave them valid.  The legacy hand-bumped
+  ``CACHE_SALT`` constant survives as a lazy module attribute for
+  compatibility; existing ``repro-cell-v1`` cache dirs invalidate exactly
+  once when the derived ``repro-cell-v2-*`` salt takes over.
 * Entries are written atomically (temp file + ``os.replace``), so a killed
   run never leaves a partial entry behind.
 * A corrupted entry — truncated zip, garbled JSON, fingerprint mismatch —
@@ -56,15 +61,50 @@ if TYPE_CHECKING:  # pragma: no cover - type-only imports
 
 logger = logging.getLogger(__name__)
 
-#: Code-version salt folded into every fingerprint.  Bump whenever a change
-#: to the kernel, traffic, topology, or netdyn layers alters what any cell
-#: simulates (the golden-trace test failing is the usual tell): old entries
-#: then stop matching and every cell recomputes.
-CACHE_SALT = "repro-cell-v1"
-
 #: Layout version of one cache entry; bump on incompatible changes (old
 #: entries are then rejected as corrupt and recomputed).
 ENTRY_FORMAT_VERSION = 1
+
+#: Salt used when the derived salt cannot be computed (sources missing,
+#: e.g. a zipapp deployment).  Deliberately not a valid derived salt, so
+#: such environments never share entries with source checkouts.
+_FALLBACK_SALT = "repro-cell-v2-unknown"
+
+_salt_cache: Optional[str] = None
+
+
+def cache_salt() -> str:
+    """The code-version salt folded into every cell fingerprint.
+
+    Derived from the normalized-AST fingerprints of every ``repro`` module
+    transitively imported by the campaign worker's module
+    (:func:`repro.devtools.fingerprint.derived_cache_salt`), so it changes
+    exactly when the semantics of reachable simulation code can change —
+    no manual bump to forget.  Computed once per process (parsing the
+    package takes ~0.5 s) and falls back to :data:`_FALLBACK_SALT` with a
+    logged warning when the sources cannot be analyzed.
+    """
+    global _salt_cache
+    if _salt_cache is None:
+        try:
+            from repro.devtools.fingerprint import derived_cache_salt
+            _salt_cache = derived_cache_salt()
+        except Exception as exc:
+            logger.warning(
+                "could not derive the cache salt from the package sources "
+                "(%s); using %r — caching stays correct but entries will "
+                "not be shared with source checkouts", exc, _FALLBACK_SALT)
+            _salt_cache = _FALLBACK_SALT
+    return _salt_cache
+
+
+def __getattr__(name: str) -> str:
+    # Compatibility shim: the salt used to be the hand-bumped constant
+    # ``CACHE_SALT``.  Old entries (repro-cell-v1) invalidate exactly once
+    # when the derived repro-cell-v2-* salt takes over.
+    if name == "CACHE_SALT":
+        return cache_salt()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def default_probe_bytes() -> "tuple[int, int]":
@@ -74,16 +114,19 @@ def default_probe_bytes() -> "tuple[int, int]":
 
 
 def cell_fingerprint(spec: "CampaignSpec", delta: float, seed: int,
-                     salt: str = CACHE_SALT) -> str:
+                     salt: Optional[str] = None) -> str:
     """Stable SHA-256 hex digest of one cell's full causal input.
 
     Two cells share a fingerprint exactly when nothing that can influence
     the simulated result differs: scenario name + kwargs, δ, seed,
     duration, warm-up, probe payload/wire bytes, and the code-version
-    ``salt``.  ``output_dir``, worker counts, and every other bit of
-    execution mechanics are deliberately excluded — they change where
-    results go, never what they are.
+    ``salt`` (default: the derived :func:`cache_salt`).  ``output_dir``,
+    worker counts, and every other bit of execution mechanics are
+    deliberately excluded — they change where results go, never what
+    they are.
     """
+    if salt is None:
+        salt = cache_salt()
     payload_bytes, wire_bytes = default_probe_bytes()
     document = {
         "scenario": spec.scenario,
@@ -114,14 +157,14 @@ class CampaignCache:
         When True every lookup misses, so every cell recomputes and
         overwrites its entry (the ``--refresh`` CLI flag).
     salt:
-        Override of :data:`CACHE_SALT`, for tests.
+        Override of the derived :func:`cache_salt`, for tests.
     """
 
     def __init__(self, directory: Union[str, Path], refresh: bool = False,
-                 salt: str = CACHE_SALT) -> None:
+                 salt: Optional[str] = None) -> None:
         self.directory = Path(directory)
         self.refresh = bool(refresh)
-        self.salt = salt
+        self.salt = salt if salt is not None else cache_salt()
         self.directory.mkdir(parents=True, exist_ok=True)
         #: Lifetime counters (pull-based metrics read these).
         self.hits = 0

@@ -25,7 +25,11 @@ DEFAULT_WARMUP = 30.0
 
 def full_experiments() -> bool:
     """True when paper-length runs were requested via the environment."""
-    return os.environ.get("REPRO_FULL_EXPERIMENTS", "") not in ("", "0")
+    # Read upstream of the cell cache: the env only shapes ExperimentConfig
+    # durations, and duration is hashed into every cell key — the
+    # environment cannot silently poison a cached cell.
+    return os.environ.get(
+        "REPRO_FULL_EXPERIMENTS", "") not in ("", "0")  # repro: noqa[FLOW002]
 
 
 def default_duration(requested: float = 120.0) -> float:

@@ -7,7 +7,14 @@ import sys
 import pytest
 
 from repro.cli import main_audit
-from repro.devtools.audit import PARSE_RULE_ID, audit_paths, main
+from repro.devtools.audit import (
+    PARSE_RULE_ID,
+    audit_paths,
+    iter_python_files,
+    main,
+)
+from repro.devtools.core import Finding
+from repro.devtools.reporters import render_github
 
 CLEAN = "from repro.units import ms\n\ndelta = ms(50.0)\n"
 
@@ -94,6 +101,151 @@ class TestOptions:
         findings, checked = audit_paths([str(tmp_path)])
         assert checked == 1
         assert [f.rule for f in findings] == [PARSE_RULE_ID]
+
+
+class TestOverlappingPaths:
+    def test_overlapping_directories_dedupe(self, dirty_tree):
+        sub = dirty_tree / "sub"
+        sub.mkdir()
+        (sub / "nested.py").write_text(VIOLATING)
+        once, checked_once = audit_paths([str(dirty_tree)])
+        twice, checked_twice = audit_paths([str(dirty_tree), str(sub)])
+        assert checked_once == checked_twice == 3
+        assert [f.sort_key() for f in once] == [f.sort_key() for f in twice]
+
+    def test_same_file_spelled_twice_dedupes(self, dirty_tree):
+        bad = dirty_tree / "bad.py"
+        files = iter_python_files([str(bad), str(bad), bad.as_posix()])
+        assert len(files) == 1
+
+    def test_dot_spelling_dedupes(self, dirty_tree):
+        dotted = str(dirty_tree / "." / "bad.py")
+        files = iter_python_files([str(dirty_tree / "bad.py"), dotted])
+        assert len(files) == 1
+
+    def test_result_is_sorted(self, dirty_tree):
+        files = iter_python_files([str(dirty_tree)])
+        assert files == sorted(files)
+
+
+class TestGithubFormat:
+    def test_annotations_emitted(self, dirty_tree, capsys):
+        assert main(["--format", "github", str(dirty_tree)]) == 1
+        out = capsys.readouterr().out
+        lines = [ln for ln in out.splitlines() if ln.startswith("::error ")]
+        assert lines, out
+        assert any("file=" in ln and ",line=4," in ln
+                   and "title=DET001" in ln for ln in lines)
+
+    def test_columns_are_one_based(self, tmp_path, capsys):
+        (tmp_path / "m.py").write_text("bits = size * 8\n")
+        assert main(["--format", "github", str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        # The UNIT001 finding anchors at col 0 in AST terms -> col=8 is
+        # 0-based 7 ("size * 8"); whatever the anchor, col must be >= 1.
+        for line in out.splitlines():
+            if line.startswith("::error "):
+                col = int(line.split(",col=")[1].split(",")[0])
+                assert col >= 1
+
+    def test_clean_tree_has_no_annotations(self, clean_tree, capsys):
+        assert main(["--format", "github", str(clean_tree)]) == 0
+        out = capsys.readouterr().out
+        assert "::error" not in out
+        assert "0 findings" in out
+
+    def test_message_and_property_escaping(self):
+        finding = Finding(rule="DET001", path="dir,x/a.py", line=2, col=0,
+                          message="bad%stuff\nline two")
+        rendered = render_github([finding], files_checked=1)
+        annotation = rendered.splitlines()[0]
+        assert annotation.startswith("::error file=dir%2Cx/a.py,line=2,")
+        assert "bad%25stuff%0Aline two" in annotation
+        assert "\n" not in annotation
+
+
+class TestFingerprintSubcommand:
+    @pytest.fixture
+    def mini_pkg(self, tmp_path):
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        (pkg / "__init__.py").write_text("")
+        (pkg / "worker.py").write_text("def run_cell():\n    return 1\n")
+        return pkg
+
+    def test_reports_salt(self, mini_pkg, capsys):
+        assert main(["fingerprint", "--package", str(mini_pkg),
+                     "--entry", "pkg.worker.run_cell"]) == 0
+        out = capsys.readouterr().out
+        assert "salt: repro-cell-v2-" in out
+        assert "entry: pkg.worker.run_cell" in out
+
+    def test_stable_across_runs(self, mini_pkg, capsys):
+        main(["fingerprint", "--package", str(mini_pkg),
+              "--entry", "pkg.worker"])
+        first = capsys.readouterr().out
+        main(["fingerprint", "--package", str(mini_pkg),
+              "--entry", "pkg.worker"])
+        assert capsys.readouterr().out == first
+
+    def test_json_output_parseable(self, mini_pkg, capsys):
+        assert main(["fingerprint", "--package", str(mini_pkg),
+                     "--entry", "pkg.worker", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["salt"].startswith("repro-cell-v2-")
+        assert "pkg.worker" in payload["modules"]
+        assert payload["modules_in_project"] == 2
+
+    def test_verbose_lists_modules(self, mini_pkg, capsys):
+        assert main(["fingerprint", "--package", str(mini_pkg),
+                     "--entry", "pkg.worker", "--verbose"]) == 0
+        assert "pkg.worker" in capsys.readouterr().out
+
+    def test_missing_entry_exits_two(self, mini_pkg, capsys):
+        assert main(["fingerprint", "--package", str(mini_pkg),
+                     "--entry", "pkg.gone"]) == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_default_package_is_installed_tree(self, capsys):
+        assert main(["fingerprint"]) == 0
+        out = capsys.readouterr().out
+        assert "salt: repro-cell-v2-" in out
+        assert "repro.experiments.campaign._run_cell" in out
+
+
+class TestProjectRulesInCli:
+    def test_select_project_rule_only(self, tmp_path, capsys):
+        pkg = tmp_path / "repro" / "sim"
+        pkg.mkdir(parents=True)
+        (tmp_path / "repro" / "__init__.py").write_text("")
+        (pkg / "__init__.py").write_text("")
+        (pkg / "kernel.py").write_text(
+            "import random\n"
+            "class Simulator:\n"
+            "    def run(self):\n"
+            "        return random.random()\n")
+        assert main(["--select", "FLOW001", str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "FLOW001" in out
+        # Per-file DET001 was not selected, so it must not appear.
+        assert "DET001" not in out
+
+    def test_project_findings_respect_noqa(self, tmp_path):
+        pkg = tmp_path / "repro" / "sim"
+        pkg.mkdir(parents=True)
+        (tmp_path / "repro" / "__init__.py").write_text("")
+        (pkg / "__init__.py").write_text("")
+        (pkg / "kernel.py").write_text(
+            "import random\n"
+            "class Simulator:\n"
+            "    def run(self):\n"
+            "        return random.random()  # repro: noqa[FLOW001]\n")
+        assert main(["--select", "FLOW001", str(tmp_path)]) == 0
+
+    def test_list_rules_shows_both_registries(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        assert "FLOW001" in out and "UNIT003" in out and "DET001" in out
 
 
 class TestEntryPoints:

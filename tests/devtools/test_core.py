@@ -1,15 +1,21 @@
 """Framework behavior: registry, suppressions, findings, exemptions."""
 
+import ast
+
 import pytest
 
 from repro.devtools.core import (
     Finding,
+    ProjectRule,
     Rule,
+    all_project_rules,
     all_rules,
     audit_source,
+    expand_statement_suppressions,
     get_rule,
     parse_suppressions,
     register,
+    register_project,
 )
 
 EXPECTED_RULES = {"DET001", "DET002", "UNIT001", "UNIT002", "SIM001",
@@ -19,6 +25,23 @@ EXPECTED_RULES = {"DET001", "DET002", "UNIT001", "UNIT002", "SIM001",
 class TestRegistry:
     def test_all_expected_rules_registered(self):
         assert EXPECTED_RULES <= {rule.rule_id for rule in all_rules()}
+
+    def test_project_rules_in_separate_registry(self):
+        file_ids = {rule.rule_id for rule in all_rules()}
+        project_ids = {rule.rule_id for rule in all_project_rules()}
+        assert "FLOW001" in project_ids
+        assert not file_ids & project_ids
+
+    def test_get_rule_finds_project_rules(self):
+        assert get_rule("FLOW001").rule_id == "FLOW001"
+        assert isinstance(get_rule("FLOW001"), ProjectRule)
+
+    def test_register_project_rejects_file_rule_id(self):
+        class Clash(ProjectRule):
+            rule_id = "UNIT001"
+
+        with pytest.raises(ValueError):
+            register_project(Clash)
 
     def test_all_rules_sorted_by_id(self):
         ids = [rule.rule_id for rule in all_rules()]
@@ -83,6 +106,63 @@ class TestSuppressions:
                "b = delta * 1e3\n")
         findings = audit_source(src, path="m.py")
         assert [(f.rule, f.line) for f in findings] == [("UNIT001", 2)]
+
+
+class TestMultilineSuppressions:
+    """A noqa on any physical line of a multi-line simple statement
+    suppresses findings anywhere in that statement — in particular a
+    comment on the closing line covers findings anchored at the first."""
+
+    def test_noqa_on_closing_line_suppresses(self):
+        src = ("import random\n"
+               "x = random.random(\n"
+               ")  # repro: noqa[DET001]\n")
+        assert audit_source(src, path="m.py") == []
+
+    def test_noqa_on_first_line_still_works(self):
+        src = ("import random\n"
+               "x = random.random(  # repro: noqa[DET001]\n"
+               ")\n")
+        assert audit_source(src, path="m.py") == []
+
+    def test_wrong_rule_on_closing_line_does_not_suppress(self):
+        src = ("import random\n"
+               "x = random.random(\n"
+               ")  # repro: noqa[UNIT001]\n")
+        findings = audit_source(src, path="m.py")
+        assert [f.rule for f in findings] == ["DET001"]
+
+    def test_finding_mid_statement_suppressed_from_closing_line(self):
+        src = ("value = compute(\n"
+               "    delta * 1e3,\n"
+               ")  # repro: noqa[UNIT001]\n")
+        assert audit_source(src, path="m.py") == []
+
+    def test_noqa_inside_compound_body_does_not_bleed_to_header(self):
+        # DET002 anchors on the set expression in the ``for`` header; a
+        # noqa inside the loop body must not reach it.
+        src = ("for item in set([1, 2]):\n"
+               "    pass  # repro: noqa[DET002]\n")
+        findings = audit_source(src, path="m.py")
+        assert [f.rule for f in findings] == ["DET002"]
+
+    def test_adjacent_statements_unaffected(self):
+        src = ("a = delta * 1e3\n"
+               "b = compute(\n"
+               "    delta * 1e3,\n"
+               ")  # repro: noqa[UNIT001]\n")
+        findings = audit_source(src, path="m.py")
+        assert [(f.rule, f.line) for f in findings] == [("UNIT001", 1)]
+
+    def test_expand_helper_maps_all_statement_lines(self):
+        tree = ast.parse("x = f(\n    1,\n    2,\n)\n")
+        expanded = expand_statement_suppressions(tree, {4: {"UNIT001"}})
+        assert expanded == {1: {"UNIT001"}, 2: {"UNIT001"},
+                            3: {"UNIT001"}, 4: {"UNIT001"}}
+
+    def test_expand_helper_noop_without_suppressions(self):
+        tree = ast.parse("x = f(\n    1,\n)\n")
+        assert expand_statement_suppressions(tree, {}) == {}
 
 
 class TestFinding:

@@ -1,0 +1,99 @@
+"""Import-alias resolution: attribute_chain / resolve_call_path edges."""
+
+import ast
+
+from repro.devtools.imports import (
+    ImportMap,
+    attribute_chain,
+    resolve_call_path,
+)
+
+
+def expr(source):
+    """The AST of a single expression."""
+    return ast.parse(source, mode="eval").body
+
+
+def import_map(source):
+    return ImportMap.from_tree(ast.parse(source))
+
+
+class TestAttributeChain:
+    def test_plain_name(self):
+        assert attribute_chain(expr("helper")) == ["helper"]
+
+    def test_nested_attributes(self):
+        assert attribute_chain(expr("np.random.default_rng")) == \
+            ["np", "random", "default_rng"]
+
+    def test_call_in_chain_is_none(self):
+        # getattr(obj, 'x').y — the root is a call, not a name.
+        assert attribute_chain(expr("factory().run")) is None
+
+    def test_subscript_in_chain_is_none(self):
+        assert attribute_chain(expr("table['k'].run")) is None
+
+    def test_literal_is_none(self):
+        assert attribute_chain(expr("42")) is None
+
+
+class TestImportMap:
+    def test_plain_import(self):
+        assert import_map("import numpy").bindings == {"numpy": "numpy"}
+
+    def test_aliased_import(self):
+        assert import_map("import numpy as np").bindings == {"np": "numpy"}
+
+    def test_dotted_import_binds_root(self):
+        # ``import numpy.random`` makes only ``numpy`` referencable.
+        assert import_map("import numpy.random").bindings == \
+            {"numpy": "numpy"}
+
+    def test_from_import(self):
+        assert import_map("from random import choice").bindings == \
+            {"choice": "random.choice"}
+
+    def test_from_import_as(self):
+        assert import_map("from numpy import random as nr").bindings == \
+            {"nr": "numpy.random"}
+
+    def test_relative_import_ignored(self):
+        # Relative imports never alias stdlib/numpy namespaces.
+        assert import_map("from . import sibling").bindings == {}
+        assert import_map("from .mod import thing").bindings == {}
+
+
+class TestResolveCallPath:
+    def test_aliased_module_attribute(self):
+        imports = import_map("import numpy as np")
+        assert resolve_call_path(expr("np.random.default_rng"), imports) == \
+            "numpy.random.default_rng"
+
+    def test_from_import_as_alias(self):
+        imports = import_map("from numpy import random as nr")
+        assert resolve_call_path(expr("nr.default_rng"), imports) == \
+            "numpy.random.default_rng"
+
+    def test_from_import_function_alias(self):
+        imports = import_map("from x import y as z")
+        assert resolve_call_path(expr("z"), imports) == "x.y"
+
+    def test_unknown_root_resolves_to_itself(self):
+        imports = import_map("import numpy as np")
+        assert resolve_call_path(expr("helper"), imports) == "helper"
+        assert resolve_call_path(expr("obj.method"), imports) == "obj.method"
+
+    def test_dynamic_expression_is_none(self):
+        imports = import_map("import numpy as np")
+        assert resolve_call_path(expr("getattr(np, 'random')"),
+                                 imports) is None
+        assert resolve_call_path(expr("factory().run"), imports) is None
+
+    def test_local_shadowing_produces_harmless_nonmatch(self):
+        # A local variable named ``random`` (no import) resolves to the
+        # bare chain, which cannot match a qualified ban list entry like
+        # ``numpy.random.default_rng`` — by design.
+        imports = import_map("x = 1")
+        assert resolve_call_path(expr("random.random"), imports) == \
+            "random.random"
+        assert "random" not in imports.bindings

@@ -9,6 +9,7 @@ from repro.errors import ConfigurationError
 from repro.experiments import cache as cache_module
 from repro.experiments.cache import (
     CampaignCache,
+    cache_salt,
     cell_fingerprint,
     instrument_cache,
     resolve_cache,
@@ -65,6 +66,50 @@ class TestFingerprint:
         # Callers pick up the module constant as their default.
         assert cell_fingerprint(
             small_spec(), 0.1, 1, salt=cache_module.CACHE_SALT) != base
+
+
+class TestDerivedSalt:
+    def test_salt_is_derived_from_code(self):
+        salt = cache_salt()
+        assert salt.startswith("repro-cell-v2-")
+        assert salt == cache_salt()  # memoized, stable in-process
+
+    def test_legacy_constant_is_the_derived_salt(self):
+        # CACHE_SALT survives as a lazy module attribute; existing cache
+        # dirs keyed on the old hand-bumped value invalidate exactly once.
+        assert cache_module.CACHE_SALT == cache_salt()
+        assert cache_module.CACHE_SALT != "repro-cell-v1"
+        from repro import experiments
+        assert experiments.CACHE_SALT == cache_salt()
+
+    def test_unknown_module_attribute_still_raises(self):
+        with pytest.raises(AttributeError):
+            cache_module.NOT_A_THING
+
+    def test_fingerprint_defaults_to_derived_salt(self):
+        explicit = cell_fingerprint(small_spec(), 0.1, 1, salt=cache_salt())
+        assert cell_fingerprint(small_spec(), 0.1, 1) == explicit
+
+    def test_cache_defaults_to_derived_salt(self, tmp_path):
+        assert CampaignCache(tmp_path).salt == cache_salt()
+
+    def test_matches_the_analyzer_report(self):
+        from repro.devtools.fingerprint import derived_cache_salt
+        assert cache_salt() == derived_cache_salt()
+
+    def test_fallback_when_sources_unreadable(self, monkeypatch, caplog):
+        monkeypatch.setattr(cache_module, "_salt_cache", None)
+        import repro.devtools.fingerprint as fp
+
+        def boom():
+            raise OSError("no sources")
+
+        monkeypatch.setattr(fp, "derived_cache_salt", boom)
+        with caplog.at_level("WARNING"):
+            salt = cache_salt()
+        assert salt == cache_module._FALLBACK_SALT
+        assert "could not derive" in caplog.text
+        monkeypatch.setattr(cache_module, "_salt_cache", None)
 
 
 class TestCacheSemantics:
