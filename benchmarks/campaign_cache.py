@@ -1,6 +1,6 @@
-"""Measure cold-vs-warm campaign latency and write ``BENCH_cache.json``.
+"""Measure cold-vs-warm campaign latency; ``benchmarks/BENCH_cache.json``.
 
-Run directly (CI's cache-smoke job does)::
+Run directly (CI's cache-smoke job does) or via ``repro-bench run cache``::
 
     python benchmarks/campaign_cache.py [OUTPUT.json]
 
@@ -9,14 +9,14 @@ pass (empty cache, every cell simulated and stored) and a warm pass (every
 cell loaded from disk).  Records both wall times, the speedup, the warm
 pass's hit accounting, and whether the two passes' artifacts — summary
 tables, per-cell trace CSVs, ``manifest.json`` — came out byte-identical
-(the cold==warm invariant).  ``benchmarks/test_perf_cache.py`` asserts the
+(the cold==warm invariant), in the shared ``repro-bench`` report schema
+(:mod:`repro.obs.bench`).  ``benchmarks/test_perf_cache.py`` asserts the
 >= 10x warm speedup and the byte-identity.
 """
 
 from __future__ import annotations
 
 import filecmp
-import json
 import shutil
 import sys
 import tempfile
@@ -25,6 +25,9 @@ from time import perf_counter
 
 from repro.experiments.cache import CampaignCache
 from repro.experiments.campaign import CampaignSpec, run_campaign
+from repro.obs.bench import build_report, metric, write_report
+
+SUITE = "cache"
 
 #: The fixed benchmark grid: 2 deltas x 3 seeds = 6 cells, sized so the
 #: cold pass costs seconds of simulation while the warm pass is pure I/O.
@@ -40,9 +43,10 @@ BENCH_GRID = dict(
 SPEEDUP_FLOOR = 10.0
 
 
-def _run_pass(cache: CampaignCache, output_dir: Path) -> "tuple[float, dict]":
+def _run_pass(cache: CampaignCache, output_dir: Path,
+              grid: dict = BENCH_GRID) -> "tuple[float, dict]":
     """One full campaign into ``output_dir``; (wall seconds, cache stats)."""
-    spec = CampaignSpec(output_dir=output_dir, **BENCH_GRID)
+    spec = CampaignSpec(output_dir=output_dir, **grid)
     started = perf_counter()
     result = run_campaign(spec, cache=cache)
     assert result.cache_stats is not None
@@ -65,20 +69,23 @@ def _artifacts_identical(cold_dir: Path, warm_dir: Path) -> bool:
     return not mismatch and not errors
 
 
-def collect() -> dict:
+def collect(quick: bool = False) -> dict:
     """Run the grid cold then warm against one cache; derive the speedup."""
+    grid = dict(BENCH_GRID, duration=5.0) if quick else BENCH_GRID
     workdir = Path(tempfile.mkdtemp(prefix="bench-cache-"))
     try:
         cache = CampaignCache(workdir / "cache")
-        cold_seconds, cold_stats = _run_pass(cache, workdir / "cold")
-        warm_seconds, warm_stats = _run_pass(cache, workdir / "warm")
+        cold_seconds, cold_stats = _run_pass(cache, workdir / "cold",
+                                             grid=grid)
+        warm_seconds, warm_stats = _run_pass(cache, workdir / "warm",
+                                             grid=grid)
         identical = _artifacts_identical(workdir / "cold", workdir / "warm")
     finally:
         shutil.rmtree(workdir, ignore_errors=True)
-    cells = len(BENCH_GRID["deltas"]) * len(BENCH_GRID["seeds"])
+    cells = len(grid["deltas"]) * len(grid["seeds"])
     return {
         "grid_cells": cells,
-        "cell_duration_seconds": BENCH_GRID["duration"],
+        "cell_duration_seconds": grid["duration"],
         "cold_seconds": cold_seconds,
         "warm_seconds": warm_seconds,
         "speedup": cold_seconds / warm_seconds,
@@ -91,13 +98,24 @@ def collect() -> dict:
     }
 
 
+def run_suite(quick: bool = False) -> dict:
+    """One schema-versioned ``repro-bench`` report for this suite."""
+    details = collect(quick=quick)
+    metrics = {
+        "warm_speedup": metric(details["speedup"], "x"),
+        "warm_seconds": metric(details["warm_seconds"], "s",
+                               direction="lower"),
+    }
+    return build_report(SUITE, metrics, mode="quick" if quick else "full",
+                        details=details)
+
+
 def main(argv=None) -> int:
     argv = sys.argv[1:] if argv is None else argv
-    output = argv[0] if argv else "BENCH_cache.json"
-    document = collect()
-    with open(output, "w") as handle:
-        json.dump(document, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    output = argv[0] if argv else "benchmarks/BENCH_cache.json"
+    report = run_suite()
+    document = report["details"]
+    write_report(report, output)
     print(f"campaign cell cache, {document['grid_cells']} cells:")
     print(f"  cold: {document['cold_seconds']:7.2f}s "
           f"({document['cold_misses']} misses)")

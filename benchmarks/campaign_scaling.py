@@ -1,25 +1,29 @@
-"""Measure campaign scaling across workers and write ``BENCH_campaign.json``.
+"""Measure campaign worker scaling; ``benchmarks/BENCH_campaign.json``.
 
-Run directly (CI's campaign-smoke job does)::
+Run directly (CI's campaign-smoke job does) or via ``repro-bench run
+campaign``::
 
     python benchmarks/campaign_scaling.py [OUTPUT.json]
 
 Times the same fixed (δ × seed) grid serially and with 2 and 4 worker
-processes.  Cells are independent simulations, so on an unloaded machine
-with >= 4 CPUs the 4-worker run should beat serial by well over 1.5×;
-``benchmarks/test_perf_campaign.py`` asserts exactly that (and skips the
-assertion, but still records the numbers, on smaller machines where the
-hardware cannot show a speedup).
+processes, written in the shared ``repro-bench`` report schema
+(:mod:`repro.obs.bench`).  Cells are independent simulations, so on an
+unloaded machine with >= 4 CPUs the 4-worker run should beat serial by
+well over 1.5×; ``benchmarks/test_perf_campaign.py`` asserts exactly that
+(and skips the assertion, but still records the numbers, on smaller
+machines where the hardware cannot show a speedup).
 """
 
 from __future__ import annotations
 
-import json
 import os
 import sys
 from time import perf_counter
 
 from repro.experiments.campaign import CampaignSpec, run_campaign
+from repro.obs.bench import build_report, metric, write_report
+
+SUITE = "campaign"
 
 #: The fixed benchmark grid: 2 deltas x 4 seeds = 8 cells, sized so each
 #: cell costs enough wall time that pool start-up cost is noise.
@@ -40,26 +44,28 @@ def available_cpus() -> int:
     return os.cpu_count() or 1
 
 
-def time_campaign(workers: int) -> float:
+def time_campaign(workers: int, grid: dict = BENCH_GRID) -> float:
     """Wall seconds for one full run of the benchmark grid."""
-    spec = CampaignSpec(**BENCH_GRID)
+    spec = CampaignSpec(**grid)
     started = perf_counter()
     run_campaign(spec, workers=workers)
     return perf_counter() - started
 
 
-def collect() -> dict:
+def collect(quick: bool = False) -> dict:
     """Run the grid at every worker count and derive speedups."""
-    cells = len(BENCH_GRID["deltas"]) * len(BENCH_GRID["seeds"])
+    grid = dict(BENCH_GRID, duration=5.0) if quick else BENCH_GRID
+    cells = len(grid["deltas"]) * len(grid["seeds"])
     document = {
         "grid_cells": cells,
-        "cell_duration_seconds": BENCH_GRID["duration"],
+        "cell_duration_seconds": grid["duration"],
         "cpus": available_cpus(),
         "wall_seconds": {},
         "speedup_vs_serial": {},
     }
     for workers in WORKER_COUNTS:
-        document["wall_seconds"][str(workers)] = time_campaign(workers)
+        document["wall_seconds"][str(workers)] = time_campaign(workers,
+                                                               grid=grid)
     serial = document["wall_seconds"]["1"]
     for workers in WORKER_COUNTS:
         document["speedup_vs_serial"][str(workers)] = \
@@ -67,13 +73,26 @@ def collect() -> dict:
     return document
 
 
+def run_suite(quick: bool = False) -> dict:
+    """One schema-versioned ``repro-bench`` report for this suite."""
+    details = collect(quick=quick)
+    metrics = {
+        f"speedup_{workers}_workers":
+            metric(details["speedup_vs_serial"][str(workers)], "x")
+        for workers in WORKER_COUNTS if workers > 1
+    }
+    metrics["serial_seconds"] = metric(details["wall_seconds"]["1"], "s",
+                                       direction="lower")
+    return build_report(SUITE, metrics, mode="quick" if quick else "full",
+                        details=details)
+
+
 def main(argv=None) -> int:
     argv = sys.argv[1:] if argv is None else argv
-    output = argv[0] if argv else "BENCH_campaign.json"
-    document = collect()
-    with open(output, "w") as handle:
-        json.dump(document, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    output = argv[0] if argv else "benchmarks/BENCH_campaign.json"
+    report = run_suite()
+    document = report["details"]
+    write_report(report, output)
     print(f"campaign scaling on {document['cpus']} CPU(s), "
           f"{document['grid_cells']} cells:")
     for workers in WORKER_COUNTS:

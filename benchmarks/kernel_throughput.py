@@ -1,6 +1,7 @@
-"""Measure hot-path throughput and write ``BENCH_kernel.json``.
+"""Measure hot-path throughput and write ``benchmarks/BENCH_kernel.json``.
 
-Run directly (CI's kernel-bench-smoke job does)::
+Run directly (CI's kernel-bench-smoke job does) or via ``repro-bench run
+kernel``::
 
     python benchmarks/kernel_throughput.py [OUTPUT.json] [--quick]
         [--baseline BASELINE.json]
@@ -13,13 +14,16 @@ Times the three hot-path workloads the perf tests guard:
 * ``calibrated`` — one simulated minute of the full INRIA-UMd scenario
   (cross-traffic RNG draws, faults, probes: the real workload).
 
-Each workload reports events/sec (best of ``ROUNDS``).  When ``--baseline``
-points at a previous run's JSON, its numbers are embedded under
-``"baseline"`` and per-workload speedups are computed, which is how the
-before/after record in the committed ``BENCH_kernel.json`` is produced.
+Each workload reports events/sec (best of ``ROUNDS``), written in the
+shared ``repro-bench`` report schema (:mod:`repro.obs.bench`) so
+``repro-bench compare`` can flag regressions between two runs.  When
+``--baseline`` points at a previous run's JSON (legacy flat or
+schema-versioned), its numbers are embedded under ``details.baseline`` and
+per-workload speedups are computed, which is how the before/after record
+in the committed ``benchmarks/BENCH_kernel.json`` is produced.
 
 ``--quick`` shrinks every workload (CI smoke); quick numbers are only
-comparable to other quick runs, and the document says which mode ran.
+comparable to other quick runs, and the report says which mode ran.
 """
 
 from __future__ import annotations
@@ -30,11 +34,14 @@ from time import perf_counter
 
 from repro.net.routing import Network
 from repro.netdyn.session import run_probe_experiment
+from repro.obs.bench import build_report, flat_metrics, write_report
 from repro.sim import Simulator
 from repro.topology.inria_umd import build_inria_umd
 from repro.traffic.base import TrafficSink
 from repro.traffic.poisson import PoissonSource
 from repro.units import mbps, ms
+
+SUITE = "kernel"
 
 ROUNDS = 3
 
@@ -100,6 +107,41 @@ def best_rate(workload, arg) -> dict:
     return {"events": events, "events_per_second": round(best_rate_seen)}
 
 
+def collect(quick: bool = False) -> dict:
+    """Run all three workloads; flat per-workload results."""
+    params = QUICK if quick else FULL
+    workloads = {
+        "event_loop": best_rate(run_event_loop, params["chain_events"]),
+        "forwarding": best_rate(run_forwarding,
+                                params["forwarding_seconds"]),
+        "calibrated": best_rate(run_calibrated,
+                                params["calibrated_seconds"]),
+    }
+    return {"rounds": ROUNDS, "params": params, "workloads": workloads}
+
+
+def run_suite(quick: bool = False, baseline: dict = None) -> dict:
+    """One schema-versioned ``repro-bench`` report for this suite.
+
+    ``baseline`` accepts either a legacy flat document (``workloads`` at
+    the top level) or a schema report (``details.workloads``); its numbers
+    are preserved under ``details.baseline`` with per-workload speedups.
+    """
+    details = collect(quick=quick)
+    workloads = details["workloads"]
+    if baseline is not None:
+        base = baseline.get("details", baseline)
+        base_workloads = base.get("workloads", base)
+        details["baseline"] = base_workloads
+        details["speedup"] = {
+            name: round(workloads[name]["events_per_second"]
+                        / base_workloads[name]["events_per_second"], 2)
+            for name in workloads if name in base_workloads}
+    return build_report(
+        SUITE, flat_metrics(workloads, unit="events/s"),
+        mode="quick" if quick else "full", details=details)
+
+
 def main(argv=None) -> int:
     argv = sys.argv[1:] if argv is None else list(argv)
     quick = "--quick" in argv
@@ -111,29 +153,11 @@ def main(argv=None) -> int:
         with open(argv[where + 1]) as handle:
             baseline = json.load(handle)
         del argv[where:where + 2]
-    output = argv[0] if argv else "BENCH_kernel.json"
-    params = QUICK if quick else FULL
+    output = argv[0] if argv else "benchmarks/BENCH_kernel.json"
 
-    workloads = {
-        "event_loop": best_rate(run_event_loop, params["chain_events"]),
-        "forwarding": best_rate(run_forwarding,
-                                params["forwarding_seconds"]),
-        "calibrated": best_rate(run_calibrated,
-                                params["calibrated_seconds"]),
-    }
-    document = {"mode": "quick" if quick else "full", "rounds": ROUNDS,
-                "params": params, "workloads": workloads}
-    if baseline is not None:
-        base_workloads = baseline.get("workloads", baseline)
-        document["baseline"] = base_workloads
-        document["speedup"] = {
-            name: round(workloads[name]["events_per_second"]
-                        / base_workloads[name]["events_per_second"], 2)
-            for name in workloads if name in base_workloads}
-    with open(output, "w") as handle:
-        json.dump(document, handle, indent=2, sort_keys=True)
-        handle.write("\n")
-    for name, result in workloads.items():
+    report = run_suite(quick=quick, baseline=baseline)
+    write_report(report, output)
+    for name, result in report["details"]["workloads"].items():
         sys.stderr.write(f"{name}: {result['events_per_second']} ev/s\n")
     sys.stderr.write(f"wrote {output}\n")
     return 0

@@ -1,25 +1,28 @@
-"""Measure kernel event throughput and write ``BENCH_obs.json``.
+"""Measure kernel event throughput; ``benchmarks/BENCH_obs.json``.
 
-Run directly (CI's obs-smoke job does)::
+Run directly (CI's obs-smoke job does) or via ``repro-bench run obs``::
 
     python benchmarks/obs_throughput.py [OUTPUT.json]
 
 Times the bare-kernel 100k-event chain three ways — no observer, kernel
 tracing attached, and the full observed experiment — and records
-events/sec for each, so tracing-off regressions show up as a drop in
-``events_per_second_untraced`` between commits.
+events/sec for each in the shared ``repro-bench`` report schema
+(:mod:`repro.obs.bench`), so tracing-off regressions show up as a drop in
+``untraced_events_per_second`` between commits.
 """
 
 from __future__ import annotations
 
-import json
 import sys
 from time import perf_counter
 
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import run_observed_experiment
 from repro.obs import KernelTracer
+from repro.obs.bench import build_report, metric, write_report
 from repro.sim import Simulator
+
+SUITE = "obs"
 
 EVENT_COUNT = 100_000
 ROUNDS = 3
@@ -50,20 +53,19 @@ def best_rate(make_tracer) -> float:
     return best
 
 
-def main(argv=None) -> int:
-    argv = sys.argv[1:] if argv is None else argv
-    output = argv[0] if argv else "BENCH_obs.json"
-
+def collect(quick: bool = False) -> dict:
+    """Chain with/without tracing plus one fully observed experiment."""
     untraced = best_rate(lambda: None)
     traced = best_rate(lambda: KernelTracer())
 
     started = perf_counter()
     trace, _scenario, obs = run_observed_experiment(
-        ExperimentConfig(delta=0.05, duration=30.0, seed=0),
+        ExperimentConfig(delta=0.05, duration=10.0 if quick else 30.0,
+                         seed=0),
         kernel_trace=True, lifecycle=True)
     elapsed = perf_counter() - started
 
-    document = {
+    return {
         "workload_events": EVENT_COUNT + 1,
         "rounds": ROUNDS,
         "events_per_second_untraced": round(untraced),
@@ -76,9 +78,30 @@ def main(argv=None) -> int:
             "events_per_second": round(obs.kernel.events_seen / elapsed),
         },
     }
-    with open(output, "w") as handle:
-        json.dump(document, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+
+
+def run_suite(quick: bool = False) -> dict:
+    """One schema-versioned ``repro-bench`` report for this suite."""
+    details = collect(quick=quick)
+    metrics = {
+        "untraced_events_per_second":
+            metric(details["events_per_second_untraced"], "events/s"),
+        "traced_events_per_second":
+            metric(details["events_per_second_traced"], "events/s"),
+        "tracing_overhead_fraction":
+            metric(details["tracing_overhead_fraction"], "fraction",
+                   direction="lower"),
+    }
+    return build_report(SUITE, metrics, mode="quick" if quick else "full",
+                        details=details)
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    output = argv[0] if argv else "benchmarks/BENCH_obs.json"
+    report = run_suite()
+    document = report["details"]
+    write_report(report, output)
     sys.stderr.write(f"wrote {output}: "
                      f"{document['events_per_second_untraced']} ev/s "
                      f"untraced, {document['events_per_second_traced']} "

@@ -9,20 +9,21 @@ faster than the cold one.  This module records the numbers in
 
 from __future__ import annotations
 
-import json
 from pathlib import Path
 
 import pytest
-from campaign_cache import SPEEDUP_FLOOR, collect
+from campaign_cache import SPEEDUP_FLOOR, run_suite
+
+from repro.obs.bench import write_report
 
 
 @pytest.fixture(scope="module")
 def cache_document():
     """Run the cold/warm passes once and persist BENCH_cache.json."""
-    document = collect()
+    report = run_suite()
     out = Path(__file__).resolve().parent / "BENCH_cache.json"
-    out.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
-    return document
+    write_report(report, out)
+    return report["details"]
 
 
 def test_cache_document_complete(cache_document):

@@ -10,11 +10,12 @@ the scaling numbers in ``BENCH_campaign.json`` and asserts the >= 1.5×
 
 from __future__ import annotations
 
-import json
 from pathlib import Path
 
 import pytest
-from campaign_scaling import available_cpus, collect, time_campaign
+from campaign_scaling import available_cpus, run_suite, time_campaign
+
+from repro.obs.bench import write_report
 
 SPEEDUP_FLOOR = 1.5
 
@@ -22,10 +23,10 @@ SPEEDUP_FLOOR = 1.5
 @pytest.fixture(scope="module")
 def scaling_document():
     """Run the full scaling grid once and persist BENCH_campaign.json."""
-    document = collect()
+    report = run_suite()
     out = Path(__file__).resolve().parent / "BENCH_campaign.json"
-    out.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
-    return document
+    write_report(report, out)
+    return report["details"]
 
 
 def test_scaling_document_complete(scaling_document):

@@ -8,6 +8,7 @@ Installed as console scripts (see pyproject) and usable via ``python -m``:
 * ``repro-traceroute`` — traceroute over a calibrated simulated topology.
 * ``repro-echo`` — run a live UDP echo server (real sockets).
 * ``repro-audit`` — static-analysis lint of the determinism/unit invariants.
+* ``repro-bench`` — run benchmark suites / compare two BENCH reports.
 """
 
 from __future__ import annotations
@@ -182,9 +183,27 @@ def main_campaign(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--refresh", action="store_true",
                         help="re-simulate every cell and overwrite its "
                              "cache entry (requires a cache directory)")
+    parser.add_argument("--spans", nargs="?", const=True, default=None,
+                        metavar="DIR",
+                        help="record per-phase spans; merged spans.jsonl "
+                             "and Chrome trace.json land in DIR (default: "
+                             "OUTPUT_DIR/spans; requires --output-dir when "
+                             "DIR is omitted).  Span timing goes to "
+                             "timing.json only — deterministic artifacts "
+                             "stay byte-identical")
+    progress_group = parser.add_mutually_exclusive_group()
+    progress_group.add_argument("--progress", action="store_true",
+                                default=None,
+                                help="force the live progress line on "
+                                     "(default: on when stderr is a TTY)")
+    progress_group.add_argument("--no-progress", dest="progress",
+                                action="store_false",
+                                help="disable the live progress line")
     args = parser.parse_args(argv)
     if args.workers < 1:
         parser.error(f"--workers must be >= 1, got {args.workers}")
+    if args.spans is True and not args.output_dir:
+        parser.error("--spans without a directory requires --output-dir")
     cache_dir = None if args.no_cache else (
         args.cache_dir or os.environ.get("REPRO_CACHE_DIR") or None)
     if args.refresh and cache_dir is None:
@@ -197,7 +216,9 @@ def main_campaign(argv: Optional[Sequence[str]] = None) -> int:
     spec = CampaignSpec(deltas=tuple(ms(d) for d in args.deltas_ms),
                         seeds=tuple(args.seeds), duration=args.duration,
                         scenario=args.scenario, output_dir=args.output_dir)
-    result = run_campaign(spec, workers=args.workers, cache=cache)
+    progress = {None: "auto", True: "on", False: "off"}[args.progress]
+    result = run_campaign(spec, workers=args.workers, cache=cache,
+                          spans=args.spans, progress=progress)
     cells = len(spec.deltas) * len(spec.seeds)
     print(f"campaign: {len(spec.deltas)} deltas x {len(spec.seeds)} seeds "
           f"= {cells} cells ({args.workers} worker"
@@ -221,6 +242,14 @@ def main_campaign(argv: Optional[Sequence[str]] = None) -> int:
     if args.output_dir:
         print(f"\n{cells} trace CSVs + manifest.json + timing.json "
               f"written to {args.output_dir}")
+    if args.spans is not None:
+        from pathlib import Path
+
+        from repro.obs.spans import CHROME_SPAN_FILE, MERGED_SPAN_FILE
+        span_dir = Path(args.spans) if isinstance(args.spans, str) \
+            else Path(args.output_dir) / "spans"
+        print(f"spans written to {span_dir} "
+              f"({MERGED_SPAN_FILE} + {CHROME_SPAN_FILE})")
     return 0
 
 
@@ -299,6 +328,117 @@ def main_audit(argv: Optional[Sequence[str]] = None) -> int:
     """Run the devtools static analyzer (see repro.devtools.audit)."""
     from repro.devtools.audit import main
     return main(argv)
+
+
+def _discover_suites(benchmarks_dir: "Path") -> "dict":
+    """Map suite name -> loaded module for every benchmark script.
+
+    A benchmark script participates by defining module-level ``SUITE``
+    (its name) and ``run_suite(quick=False)`` returning a report in the
+    shared :mod:`repro.obs.bench` schema.  Scripts are loaded by path so
+    ``benchmarks/`` needs no package machinery.
+    """
+    import importlib.util
+
+    suites = {}
+    for path in sorted(benchmarks_dir.glob("*.py")):
+        if path.name.startswith("test_"):
+            continue
+        spec = importlib.util.spec_from_file_location(
+            f"repro_bench_{path.stem}", path)
+        if spec is None or spec.loader is None:  # pragma: no cover
+            continue
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        suite = getattr(module, "SUITE", None)
+        if suite and callable(getattr(module, "run_suite", None)):
+            suites[suite] = module
+    return suites
+
+
+def main_bench(argv: Optional[Sequence[str]] = None) -> int:
+    """Run benchmark suites or compare two BENCH reports."""
+    from pathlib import Path
+
+    from repro.errors import AnalysisError
+    from repro.obs.bench import (
+        DEFAULT_THRESHOLD,
+        compare_reports,
+        format_comparison,
+        read_report,
+        write_report,
+    )
+
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Run benchmark suites (writing schema-versioned "
+                    "BENCH_<suite>.json reports) or compare two reports "
+                    "for regressions.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = sub.add_parser(
+        "run", help="run one or more benchmark suites")
+    run_parser.add_argument("suites", nargs="*", metavar="SUITE",
+                            help="suites to run (default: all discovered "
+                                 "in the benchmarks directory)")
+    run_parser.add_argument("--benchmarks-dir", default="benchmarks",
+                            metavar="DIR",
+                            help="directory holding the benchmark scripts "
+                                 "(default: benchmarks)")
+    run_parser.add_argument("--output-dir", metavar="DIR",
+                            help="write BENCH_<suite>.json here "
+                                 "(default: the benchmarks directory)")
+    run_parser.add_argument("--quick", action="store_true",
+                            help="shrink workloads for smoke testing; "
+                                 "reports are marked mode=quick")
+
+    compare_parser = sub.add_parser(
+        "compare", help="compare two BENCH reports for regressions")
+    compare_parser.add_argument("old", help="baseline BENCH_*.json")
+    compare_parser.add_argument("new", help="candidate BENCH_*.json")
+    compare_parser.add_argument("--threshold", type=float,
+                                default=DEFAULT_THRESHOLD, metavar="FRAC",
+                                help="relative worsening that counts as a "
+                                     "regression (default: "
+                                     f"{DEFAULT_THRESHOLD:g})")
+    args = parser.parse_args(argv)
+
+    if args.command == "run":
+        benchmarks_dir = Path(args.benchmarks_dir)
+        if not benchmarks_dir.is_dir():
+            parser.error(f"not a directory: {benchmarks_dir}")
+        suites = _discover_suites(benchmarks_dir)
+        if not suites:
+            parser.error(f"no benchmark suites found in {benchmarks_dir}")
+        selected = args.suites or sorted(suites)
+        unknown = [name for name in selected if name not in suites]
+        if unknown:
+            parser.error(f"unknown suites {unknown}; available: "
+                         f"{', '.join(sorted(suites))}")
+        output_dir = Path(args.output_dir) if args.output_dir \
+            else benchmarks_dir
+        output_dir.mkdir(parents=True, exist_ok=True)
+        for name in selected:
+            report = suites[name].run_suite(quick=args.quick)
+            out = output_dir / f"BENCH_{name}.json"
+            write_report(report, out)
+            rendered = ", ".join(
+                f"{metric_name}={entry['value']:g} {entry['unit']}"
+                for metric_name, entry in sorted(
+                    report["metrics"].items()))
+            print(f"{name}: {rendered}")
+            print(f"  written to {out}")
+        return 0
+
+    try:
+        old = read_report(args.old)
+        new = read_report(args.new)
+        comparison = compare_reports(old, new, threshold=args.threshold)
+    except (AnalysisError, OSError) as exc:
+        print(f"repro-bench: {exc}", file=sys.stderr)
+        return 2
+    print(format_comparison(comparison))
+    return 1 if comparison["regressions"] else 0
 
 
 if __name__ == "__main__":  # pragma: no cover - manual dispatch

@@ -19,7 +19,11 @@ that tracks the code automatically.
 
 The analyzer itself (``repro.devtools``) is excluded from the closure: it
 computes the salt but never simulates anything, and folding it in would
-invalidate every cache whenever a lint rule changes.  Changes to the
+invalidate every cache whenever a lint rule changes.  The campaign
+telemetry modules (spans, progress, structured logging, the bench schema)
+are excluded for the same reason: they observe runs without influencing
+results — the telemetry-off run is byte-identical by invariant — so
+editing them must not throw away every cached cell.  Changes to the
 fingerprint *algorithm* are covered by :data:`FINGERPRINT_VERSION`, which
 is folded into every digest.
 """
@@ -43,7 +47,16 @@ FINGERPRINT_VERSION = 1
 SALT_ENTRY_FUNCTION = "repro.experiments.campaign._run_cell"
 
 #: Module subtrees excluded from the salt closure (see module docstring).
-SALT_EXCLUDE_PREFIXES: Tuple[str, ...] = ("repro.devtools",)
+#: Telemetry modules are excluded for the same reason devtools are: they
+#: never influence deterministic results (the spans/progress-off run is
+#: byte-identical), so editing them must not invalidate cached cells.
+SALT_EXCLUDE_PREFIXES: Tuple[str, ...] = (
+    "repro.devtools",
+    "repro.obs.bench",
+    "repro.obs.progress",
+    "repro.obs.spans",
+    "repro.obs.structlog",
+)
 
 #: Human-readable prefix of every derived salt.
 SALT_PREFIX = "repro-cell-v2"

@@ -1,4 +1,4 @@
-"""Observability rule: OBS001 (no ``print`` in library code).
+"""Observability rules: OBS001 (no ``print``), OBS002 (kernel telemetry).
 
 Library modules must report through return values, the metrics registry, or
 the tracers (:mod:`repro.obs`) — never by writing to stdout, which corrupts
@@ -6,15 +6,35 @@ machine-readable CLI output and is invisible to campaign manifests.  The
 only sanctioned print sites are the CLI front-ends (``repro/cli.py``, the
 audit tool's reporter) and the ASCII plotting package, whose entire job is
 terminal output.
+
+``OBS002`` guards the other direction of the telemetry boundary: the
+campaign-level telemetry (:mod:`repro.obs.spans`,
+:mod:`repro.obs.progress`, :mod:`repro.obs.bench`) instruments the code
+*around* the simulation — ``_run_cell`` emits spans, ``run_campaign``
+drives progress — but the simulation kernel itself must never see it.
+Code on the ``Simulator.run`` call graph importing a telemetry module
+would let wall-clock observation creep into the simulated path, the exact
+coupling the zero-perturbation invariant (DESIGN.md) forbids.  Unlike
+FLOW001 this rule bans the *import*, not just calls: a telemetry module
+in scope on the hot path is one refactor away from being consulted.
 """
 
 from __future__ import annotations
 
 import ast
 from pathlib import PurePath
-from typing import Iterator
+from typing import Dict, Iterator, List, Tuple
 
-from repro.devtools.core import FileContext, Finding, Rule, register
+from repro.devtools.callgraph import CallGraph
+from repro.devtools.core import (
+    FileContext,
+    Finding,
+    ProjectRule,
+    Rule,
+    register,
+    register_project,
+)
+from repro.devtools.symbols import Project
 
 
 @register
@@ -42,3 +62,93 @@ class NoPrintRule(Rule):
                     self, node,
                     "print() in library code; return data or register an "
                     "observability instrument instead")
+
+
+#: The simulation kernel's entry point.  Narrower than FLOW001's
+#: KERNEL_ROOTS on purpose: ``_run_cell`` legitimately *emits* spans
+#: around the simulation; only the simulation itself is off-limits.
+SIMULATOR_ROOTS: Tuple[str, ...] = ("repro.sim.kernel.Simulator.run",)
+
+#: Telemetry module subtrees banned on the simulator call graph.
+TELEMETRY_MODULES: Tuple[str, ...] = (
+    "repro.obs.spans",
+    "repro.obs.progress",
+    "repro.obs.bench",
+)
+
+
+def _is_telemetry(module_name: str) -> bool:
+    return any(module_name == banned
+               or module_name.startswith(banned + ".")
+               for banned in TELEMETRY_MODULES)
+
+
+def _absolute_module(node: ast.ImportFrom, importer: str) -> str:
+    """Absolute module path of a (possibly relative) ``from`` import."""
+    if not node.level:
+        return node.module or ""
+    parts = importer.split(".")
+    base = parts[:len(parts) - node.level]
+    if node.module:
+        base.append(node.module)
+    return ".".join(base)
+
+
+def _imported_modules(node: ast.AST, importer: str) -> List[str]:
+    """Module names an import statement brings into scope.
+
+    For ``from pkg import name`` both ``pkg`` and ``pkg.name`` are
+    candidates — ``name`` may be a submodule (``from repro.obs import
+    spans``), which only the caller's module index can tell apart.
+    """
+    if isinstance(node, ast.Import):
+        return [alias.name for alias in node.names]
+    if isinstance(node, ast.ImportFrom):
+        base = _absolute_module(node, importer)
+        return [base] + [f"{base}.{alias.name}" for alias in node.names]
+    return []
+
+
+@register_project
+class KernelTelemetryImportRule(ProjectRule):
+    """OBS002: telemetry modules must stay off the simulator call graph."""
+
+    rule_id = "OBS002"
+    summary = ("repro.obs.spans/progress/bench must not be imported by "
+               "code on the Simulator.run call graph; telemetry wraps "
+               "the simulation, it never runs inside it")
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        # The root's *import closure* over-approximates wildly (package
+        # __init__ re-exports pull in the whole tree), so unlike FLOW001
+        # this walks the unseeded call graph: only modules whose code the
+        # kernel actually executes are checked.
+        graph = CallGraph(project)
+        present = [root for root in SIMULATOR_ROOTS if root in graph.units]
+        if not present:
+            return
+        reach = graph.reachable_from(present, seed_import_closure=False)
+        first_unit: Dict[str, str] = {}
+        for unit_name in reach.units():
+            module = graph.units[unit_name].module
+            first_unit.setdefault(module, unit_name)
+        for module_name in sorted(first_unit):
+            module = project.modules[module_name]
+            if _is_telemetry(module_name):
+                continue  # telemetry importing telemetry is its business
+            if not self.applies_to(module.path):
+                continue
+            via = " -> ".join(reach.chain(first_unit[module_name]))
+            for node in ast.walk(module.context.tree):
+                for target in _imported_modules(node, module_name):
+                    if not _is_telemetry(target) \
+                            or target not in project.modules:
+                        continue
+                    yield module.context.finding(
+                        self, node,
+                        f"`{target}` imported in `{module_name}`, whose "
+                        f"code runs on the simulation kernel's call graph "
+                        f"(via {via}); telemetry must instrument the "
+                        f"campaign around the simulation, never the "
+                        f"kernel itself")
+                    break  # one finding per import statement

@@ -41,7 +41,6 @@ from __future__ import annotations
 
 import hashlib
 import json
-import logging
 import os
 import tempfile
 from pathlib import Path
@@ -54,12 +53,13 @@ from repro.experiments.config import DEFAULT_WARMUP
 from repro.net.packet import UDP_WIRE_OVERHEAD_BYTES
 from repro.netdyn.packetfmt import PROBE_PAYLOAD_BYTES
 from repro.netdyn.trace import ProbeTrace
+from repro.obs.structlog import obs_logger
 
 if TYPE_CHECKING:  # pragma: no cover - type-only imports
     from repro.experiments.campaign import CampaignSpec, CellResult
     from repro.obs.registry import MetricsRegistry
 
-logger = logging.getLogger(__name__)
+logger = obs_logger("cache")
 
 #: Layout version of one cache entry; bump on incompatible changes (old
 #: entries are then rejected as corrupt and recomputed).
@@ -90,10 +90,10 @@ def cache_salt() -> str:
             from repro.devtools.fingerprint import derived_cache_salt
             _salt_cache = derived_cache_salt()
         except Exception as exc:
-            logger.warning(
-                "could not derive the cache salt from the package sources "
-                "(%s); using %r — caching stays correct but entries will "
-                "not be shared with source checkouts", exc, _FALLBACK_SALT)
+            # Caching stays correct on the fallback salt, but entries are
+            # never shared with source checkouts.
+            logger.warning("cache-salt-underivable", error=str(exc),
+                           fallback=_FALLBACK_SALT)
             _salt_cache = _FALLBACK_SALT
     return _salt_cache
 
@@ -199,12 +199,14 @@ class CampaignCache:
         except OSError:
             self.misses += 1
             return None
+        fingerprint = cell_fingerprint(spec, delta, seed, salt=self.salt)
         try:
-            result = self._read_entry(
-                path, cell_fingerprint(spec, delta, seed, salt=self.salt))
+            result = self._read_entry(path, fingerprint)
         except Exception as exc:
-            logger.warning("cache entry %s unreadable (%s); recomputing",
-                           path.name, exc)
+            # A miss, not an error: the cell recomputes and overwrites.
+            logger.warning("cache-entry-unreadable", entry=path.name,
+                           delta=float(delta), seed=int(seed),
+                           fingerprint=fingerprint, error=str(exc))
             self.corrupt_entries += 1
             self.misses += 1
             return None

@@ -31,10 +31,12 @@ from __future__ import annotations
 
 import dataclasses
 import re
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, Optional, Sequence, Union
+from time import perf_counter
+from typing import Any, ContextManager, Dict, Optional, Sequence, Union
 
 from repro.analysis.loss import loss_stats
 from repro.analysis.stats import ReplicationSummary, replicate
@@ -42,10 +44,34 @@ from repro.analysis.timeseries import summarize
 from repro.errors import ConfigurationError
 from repro.experiments.cache import CampaignCache, resolve_cache
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.runner import run_experiment_timed
+from repro.experiments.runner import (
+    build_scenario,
+    probe_scenario,
+    run_experiment_timed,
+)
 from repro.net.routing import Network
 from repro.netdyn.trace import ProbeTrace
+from repro.obs.export import write_chrome_trace, write_spans_jsonl
 from repro.obs.manifest import write_manifest, write_timing
+from repro.obs.progress import ProgressLike, resolve_progress
+from repro.obs.spans import (
+    CHROME_SPAN_FILE,
+    MERGED_SPAN_FILE,
+    PHASE_ANALYSIS,
+    PHASE_CACHE,
+    PHASE_CAMPAIGN,
+    PHASE_CELL,
+    PHASE_MERGE,
+    PHASE_SETUP,
+    PHASE_SIM,
+    SpanTracer,
+    append_spans,
+    clear_worker_files,
+    merge_spans,
+    read_span_dir,
+    resolve_span_dir,
+    summarize_spans,
+)
 from repro.units import seconds_to_ms
 
 
@@ -216,26 +242,64 @@ def _cell_metrics(trace: ProbeTrace) -> dict[str, float]:
     }
 
 
-def _run_cell(spec: CampaignSpec, delta: float, seed: int) -> CellResult:
+def _run_cell(spec: CampaignSpec, delta: float, seed: int,
+              span_dir: Optional[Path] = None) -> CellResult:
     """Execute one (delta, seed) cell and return its full result.
 
-    Pure with respect to the campaign: reads only its arguments, touches
-    no shared state and no filesystem, so it can run in this process or in
-    a pool worker interchangeably.  Trace CSVs and manifests are written
-    by the parent after the deterministic merge.
+    Pure with respect to the campaign result: the simulated outcome reads
+    only the arguments and touches no shared state, so the cell can run in
+    this process or in a pool worker interchangeably.  Trace CSVs and
+    manifests are written by the parent after the deterministic merge.
+    With ``span_dir`` set the worker additionally times its
+    setup/sim/analysis phases and appends the span records to its
+    per-process JSONL file there — telemetry only, written beside (never
+    into) the deterministic artifacts, and the simulated work goes through
+    the exact same calls (:func:`~repro.experiments.runner.build_scenario`
+    + :func:`~repro.experiments.runner.probe_scenario`, the decomposition
+    of :func:`~repro.experiments.runner.run_experiment_timed`), so the
+    returned trace is byte-identical with spans on or off.
     """
     config = ExperimentConfig(delta=delta, duration=spec.duration,
                               seed=seed, scenario=spec.scenario,
                               scenario_kwargs=dict(spec.scenario_kwargs))
-    trace, scenario, wall = run_experiment_timed(config)
+    if span_dir is None:
+        trace, scenario, wall = run_experiment_timed(config)
+        return CellResult(delta=delta, seed=seed, trace=trace,
+                          queue_stats=collect_queue_stats(scenario.network),
+                          metrics=_cell_metrics(trace), wall_seconds=wall)
+    key = cell_key(delta, seed)
+    tracer = SpanTracer()
+    with tracer.span(f"cell {key}", phase=PHASE_CELL, cell=key):
+        # Same host-bookkeeping window as run_experiment_timed: build +
+        # warm-up + probe train (timing.json semantics are unchanged).
+        started = perf_counter()  # repro: noqa[FLOW001]
+        with tracer.span("setup", phase=PHASE_SETUP):
+            scenario = build_scenario(config)
+            scenario.start_traffic(at=0.0)
+        with tracer.span("sim", phase=PHASE_SIM):
+            trace = probe_scenario(scenario, config)
+        wall = perf_counter() - started  # repro: noqa[FLOW001]
+        with tracer.span("analysis", phase=PHASE_ANALYSIS):
+            queue_stats = collect_queue_stats(scenario.network)
+            metrics = _cell_metrics(trace)
+    append_spans(span_dir, tracer.records)
     return CellResult(delta=delta, seed=seed, trace=trace,
-                      queue_stats=collect_queue_stats(scenario.network),
-                      metrics=_cell_metrics(trace), wall_seconds=wall)
+                      queue_stats=queue_stats, metrics=metrics,
+                      wall_seconds=wall)
+
+
+def _span(tracer: Optional[SpanTracer], name: str, phase: str,
+          cell: str = "") -> ContextManager[None]:
+    """A tracer span, or a no-op context when telemetry is disabled."""
+    if tracer is None:
+        return nullcontext()
+    return tracer.span(name, phase=phase, cell=cell)
 
 
 def run_campaign(spec: CampaignSpec, workers: int = 1,
                  cache: Union[CampaignCache, str, Path, None] = None,
-                 ) -> CampaignResult:
+                 spans: Union[bool, str, Path, None] = None,
+                 progress: ProgressLike = None) -> CampaignResult:
     """Execute every (delta, seed) cell of the campaign.
 
     Parameters
@@ -256,6 +320,21 @@ def run_campaign(spec: CampaignSpec, workers: int = 1,
         are stored back.  A warm re-run writes byte-identical artifacts to
         a cold one; only ``timing.json`` (and the result's
         ``cache_stats``) records what was hit.
+    spans:
+        Span telemetry: ``True`` writes span files under
+        ``<output_dir>/spans``; a path uses that directory; ``None``/
+        ``False`` (the default) records nothing.  Workers append their
+        setup/sim/analysis spans to per-process JSONL files; the parent
+        merges everything in grid order into ``spans.jsonl`` plus a Chrome
+        ``trace_event`` flame graph (``trace.json``) and summarizes phase
+        totals into ``timing.json``.  Telemetry only: every deterministic
+        artifact is byte-identical with spans on or off.
+    progress:
+        Live progress reporting: ``True``/``"auto"`` draws a status line
+        when stderr is a TTY, ``"on"`` forces it, ``None``/``False``/
+        ``"off"`` (the default) is silent, and an existing
+        :class:`~repro.obs.progress.ProgressReporter` is used as-is.
+        Pure presentation on its stream — artifacts are unaffected.
     """
     if workers < 1:
         raise ConfigurationError(f"workers must be >= 1, got {workers}")
@@ -263,102 +342,162 @@ def run_campaign(spec: CampaignSpec, workers: int = 1,
     output_dir = Path(spec.output_dir) if spec.output_dir else None
     if output_dir:
         output_dir.mkdir(parents=True, exist_ok=True)
+    span_dir = resolve_span_dir(spans, spec.output_dir)
+    tracer: Optional[SpanTracer] = None
+    if span_dir is not None:
+        span_dir.mkdir(parents=True, exist_ok=True)
+        # Leftover per-worker files from an earlier run must not leak
+        # into this run's merge.
+        clear_worker_files(span_dir)
+        tracer = SpanTracer(worker="main")
 
     grid = spec.cells()
-    hits: dict[tuple[float, int], CellResult] = {}
-    pending = grid
-    bytes_read_before = bytes_written_before = 0
-    if cache is not None:
-        bytes_read_before = cache.bytes_read
-        bytes_written_before = cache.bytes_written
-        pending = []
-        for delta, seed in grid:
-            cell = cache.load(spec, delta, seed)
-            if cell is not None:
-                hits[(delta, seed)] = cell
-            else:
-                pending.append((delta, seed))
+    grid_keys = [cell_key(delta, seed) for delta, seed in grid]
+    reporter = resolve_progress(progress, total=len(grid), workers=workers)
+    if reporter is not None:
+        reporter.start()
 
-    if not pending:
-        fresh = []
-    elif workers == 1:
-        fresh = [_run_cell(spec, delta, seed) for delta, seed in pending]
-    else:
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = [pool.submit(_run_cell, spec, delta, seed)
-                       for delta, seed in pending]
-            # Collect in submission (= grid) order; completion order is
-            # irrelevant to the merged result.
-            fresh = [future.result() for future in futures]
+    with _span(tracer, "campaign", PHASE_CAMPAIGN):
+        hits: dict[tuple[float, int], CellResult] = {}
+        pending = grid
+        bytes_read_before = bytes_written_before = 0
+        if cache is not None:
+            bytes_read_before = cache.bytes_read
+            bytes_written_before = cache.bytes_written
+            pending = []
+            for delta, seed in grid:
+                key = cell_key(delta, seed)
+                with _span(tracer, f"cache {key}", PHASE_CACHE, cell=key):
+                    cell = cache.load(spec, delta, seed)
+                if cell is not None:
+                    hits[(delta, seed)] = cell
+                    if reporter is not None:
+                        reporter.cell_cached(key)
+                else:
+                    pending.append((delta, seed))
 
-    if cache is not None:
-        for cell in fresh:
-            cache.store(spec, cell.delta, cell.seed, cell)
+        if not pending:
+            fresh = []
+        elif workers == 1:
+            fresh = []
+            for delta, seed in pending:
+                cell = _run_cell(spec, delta, seed, span_dir=span_dir)
+                fresh.append(cell)
+                if reporter is not None:
+                    reporter.cell_done(cell_key(delta, seed),
+                                       cell.wall_seconds)
+        else:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = []
+                key_of = {}
+                for delta, seed in pending:
+                    future = pool.submit(_run_cell, spec, delta, seed,
+                                         span_dir=span_dir)
+                    futures.append(future)
+                    key_of[future] = cell_key(delta, seed)
+                if reporter is not None:
+                    # Report cells as they finish; the result merge below
+                    # still walks futures in submission (= grid) order.
+                    for future in as_completed(futures):
+                        reporter.cell_done(key_of[future],
+                                           future.result().wall_seconds)
+                # Collect in submission (= grid) order; completion order
+                # is irrelevant to the merged result.
+                fresh = [future.result() for future in futures]
 
-    # Merge hits and fresh results back into grid order: downstream
-    # artifacts must not depend on which cells came from where.
-    by_cell = dict(hits)
-    by_cell.update({(cell.delta, cell.seed): cell for cell in fresh})
-    results = [by_cell[(delta, seed)] for delta, seed in grid]
+        if cache is not None:
+            for cell in fresh:
+                cache.store(spec, cell.delta, cell.seed, cell)
 
-    cache_stats: Optional[Dict[str, Any]] = None
-    if cache is not None:
-        cache_stats = {
-            "directory": str(cache.directory),
-            "refresh": cache.refresh,
-            "hits": len(hits),
-            "misses": len(grid) - len(hits),
-            "bytes_read": cache.bytes_read - bytes_read_before,
-            "bytes_written": cache.bytes_written - bytes_written_before,
-            "saved_cell_seconds": sum(
-                cell.wall_seconds for cell in hits.values()),
-            "cells": {cell_key(delta, seed):
-                      "hit" if (delta, seed) in hits else "miss"
-                      for delta, seed in grid},
-        }
+        # Merge hits and fresh results back into grid order: downstream
+        # artifacts must not depend on which cells came from where.
+        by_cell = dict(hits)
+        by_cell.update({(cell.delta, cell.seed): cell for cell in fresh})
+        results = [by_cell[(delta, seed)] for delta, seed in grid]
 
-    traces: dict[tuple[float, int], ProbeTrace] = {}
-    queue_stats: dict[tuple[float, int], dict[str, dict[str, float]]] = {}
-    cell_metrics: dict[str, dict[str, float]] = {}
-    cell_wall: dict[str, float] = {}
-    written: list[str] = []
-    for cell in results:
-        key = cell_key(cell.delta, cell.seed)
-        traces[(cell.delta, cell.seed)] = cell.trace
-        queue_stats[(cell.delta, cell.seed)] = cell.queue_stats
-        cell_metrics[key] = cell.metrics
-        cell_wall[key] = cell.wall_seconds
-        if output_dir:
-            name = f"trace_{key}.csv"
-            cell.trace.save_csv(output_dir / name)
-            written.append(name)
+        cache_stats: Optional[Dict[str, Any]] = None
+        if cache is not None:
+            cache_stats = {
+                "directory": str(cache.directory),
+                "refresh": cache.refresh,
+                "hits": len(hits),
+                "misses": len(grid) - len(hits),
+                "bytes_read": cache.bytes_read - bytes_read_before,
+                "bytes_written": cache.bytes_written - bytes_written_before,
+                "saved_cell_seconds": sum(
+                    cell.wall_seconds for cell in hits.values()),
+                "cells": {cell_key(delta, seed):
+                          "hit" if (delta, seed) in hits else "miss"
+                          for delta, seed in grid},
+            }
 
-    metrics_by_cell = {(cell.delta, cell.seed): cell.metrics
-                       for cell in results}
-    summaries = {
-        delta: replicate({seed: metrics_by_cell[(delta, seed)]
-                          for seed in spec.seeds}, spec.seeds)
-        for delta in spec.deltas
-    }
+        with _span(tracer, "merge", PHASE_MERGE):
+            traces: dict[tuple[float, int], ProbeTrace] = {}
+            queue_stats: dict[tuple[float, int],
+                              dict[str, dict[str, float]]] = {}
+            cell_metrics: dict[str, dict[str, float]] = {}
+            cell_wall: dict[str, float] = {}
+            written: list[str] = []
+            for cell in results:
+                key = cell_key(cell.delta, cell.seed)
+                traces[(cell.delta, cell.seed)] = cell.trace
+                queue_stats[(cell.delta, cell.seed)] = cell.queue_stats
+                cell_metrics[key] = cell.metrics
+                cell_wall[key] = cell.wall_seconds
+                if output_dir:
+                    name = f"trace_{key}.csv"
+                    cell.trace.save_csv(output_dir / name)
+                    written.append(name)
 
-    result = CampaignResult(spec=spec, traces=traces, summaries=summaries,
-                            queue_stats=queue_stats,
-                            cell_wall_seconds=cell_wall, workers=workers,
-                            cache_stats=cache_stats)
+            metrics_by_cell = {(cell.delta, cell.seed): cell.metrics
+                               for cell in results}
+            summaries = {
+                delta: replicate({seed: metrics_by_cell[(delta, seed)]
+                                  for seed in spec.seeds}, spec.seeds)
+                for delta in spec.deltas
+            }
+
+            result = CampaignResult(spec=spec, traces=traces,
+                                    summaries=summaries,
+                                    queue_stats=queue_stats,
+                                    cell_wall_seconds=cell_wall,
+                                    workers=workers,
+                                    cache_stats=cache_stats)
+            if output_dir:
+                # The manifest records exactly the files this campaign
+                # wrote — never a directory listing, which would pick up
+                # leftovers from earlier runs — and strips output_dir from
+                # the config so two runs of the same spec into different
+                # directories stay byte-identical.
+                write_manifest(
+                    output_dir / "manifest.json",
+                    config=dataclasses.replace(spec, output_dir=None),
+                    metrics={"cells": cell_metrics},
+                    extra={"queues": {cell_key(d, s): stats
+                                      for (d, s), stats
+                                      in queue_stats.items()},
+                           "traces": sorted(written)})
+
+    if reporter is not None:
+        reporter.finish()
+
+    # Span post-processing happens after the campaign span closes so the
+    # root span itself lands in the merged log.  All of it is telemetry:
+    # span files and the timing.json summary, never the manifest.
+    span_summary: Optional[Dict[str, Any]] = None
+    if span_dir is not None and tracer is not None:
+        worker_records = read_span_dir(span_dir)
+        clear_worker_files(span_dir)
+        merged = merge_spans(list(tracer.records) + worker_records,
+                             grid_keys)
+        write_spans_jsonl(merged, span_dir / MERGED_SPAN_FILE)
+        write_chrome_trace(span_dir / CHROME_SPAN_FILE, spans=merged)
+        span_summary = summarize_spans(merged)
+
     if output_dir:
-        # The manifest records exactly the files this campaign wrote —
-        # never a directory listing, which would pick up leftovers from
-        # earlier runs — and strips output_dir from the config so two runs
-        # of the same spec into different directories stay byte-identical.
-        write_manifest(
-            output_dir / "manifest.json",
-            config=dataclasses.replace(spec, output_dir=None),
-            metrics={"cells": cell_metrics},
-            extra={"queues": {cell_key(d, s): stats
-                              for (d, s), stats in queue_stats.items()},
-                   "traces": sorted(written)})
         write_timing(output_dir / "timing.json", workers=workers,
-                     cell_wall_seconds=cell_wall, cache=cache_stats)
+                     cell_wall_seconds=cell_wall, cache=cache_stats,
+                     spans=span_summary)
     return result
 
 

@@ -40,19 +40,33 @@ def build_scenario(config: ExperimentConfig) -> Scenario:
     raise ConfigurationError(f"unknown scenario {config.scenario!r}")
 
 
-def run_experiment(config: ExperimentConfig) -> ProbeTrace:
-    """Build the scenario, warm up the traffic, probe, return the trace."""
-    scenario = build_scenario(config)
-    scenario.start_traffic(at=0.0)
-    trace = run_probe_experiment(
+def probe_scenario(scenario: Scenario, config: ExperimentConfig,
+                   registry: Optional[MetricsRegistry] = None) -> ProbeTrace:
+    """Run the configured probe train against an already-built scenario.
+
+    The single probing call every driver goes through — same probe
+    parameters and trace metadata whether the cell runs bare
+    (:func:`run_experiment`), observed (:func:`run_observed_experiment`),
+    or phase-by-phase inside a campaign worker — so the drivers cannot
+    drift apart.  The caller is responsible for having started the
+    background traffic.
+    """
+    return run_probe_experiment(
         scenario.network, scenario.source, scenario.echo,
         delta=config.delta, count=config.count, start_at=config.warmup,
         meta={
             "scenario": config.scenario,
             "seed": config.seed,
             "mu_bps": scenario.bottleneck_rate_bps,
-        })
-    return trace
+        },
+        registry=registry)
+
+
+def run_experiment(config: ExperimentConfig) -> ProbeTrace:
+    """Build the scenario, warm up the traffic, probe, return the trace."""
+    scenario = build_scenario(config)
+    scenario.start_traffic(at=0.0)
+    return probe_scenario(scenario, config)
 
 
 def run_experiment_with_scenario(config: ExperimentConfig,
@@ -64,15 +78,7 @@ def run_experiment_with_scenario(config: ExperimentConfig,
     """
     scenario = build_scenario(config)
     scenario.start_traffic(at=0.0)
-    trace = run_probe_experiment(
-        scenario.network, scenario.source, scenario.echo,
-        delta=config.delta, count=config.count, start_at=config.warmup,
-        meta={
-            "scenario": config.scenario,
-            "seed": config.seed,
-            "mu_bps": scenario.bottleneck_rate_bps,
-        })
-    return trace, scenario
+    return probe_scenario(scenario, config), scenario
 
 
 def run_experiment_timed(config: ExperimentConfig,
@@ -124,14 +130,6 @@ def run_observed_experiment(config: ExperimentConfig,
     obs = Observability(registry=registry, kernel=kernel, lifecycle=hops)
 
     scenario.start_traffic(at=0.0)
-    trace = run_probe_experiment(
-        scenario.network, scenario.source, scenario.echo,
-        delta=config.delta, count=config.count, start_at=config.warmup,
-        meta={
-            "scenario": config.scenario,
-            "seed": config.seed,
-            "mu_bps": scenario.bottleneck_rate_bps,
-        },
-        registry=registry)
+    trace = probe_scenario(scenario, config, registry=registry)
     obs.close(sim=scenario.sim)
     return trace, scenario, obs

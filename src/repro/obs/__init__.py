@@ -15,6 +15,12 @@ Four parts, all passive observers of the substrate:
 * **Exporters and manifests** (:mod:`repro.obs.export`,
   :mod:`repro.obs.manifest`) — JSONL, Chrome ``trace_event``, and the run
   manifest written next to campaign outputs.
+* **Campaign telemetry** (:mod:`repro.obs.spans`,
+  :mod:`repro.obs.progress`, :mod:`repro.obs.bench`,
+  :mod:`repro.obs.structlog`) — cross-process wall-clock spans merged into
+  one flame graph, a live progress line for ``repro-campaign``,
+  schema-versioned ``BENCH_*.json`` reports with regression comparison,
+  and structured key=value logging for library warnings.
 
 The governing invariant (enforced by ``tests/obs/test_determinism.py``):
 with observability disabled the hot path is untouched, and enabling it
@@ -42,14 +48,23 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, Dict, List, Optional, Union
 
+from repro.obs.bench import (
+    build_report,
+    compare_reports,
+    format_comparison,
+    read_report,
+    write_report,
+)
 from repro.obs.export import (
     read_chrome_trace,
     read_events_jsonl,
     read_hops_jsonl,
+    read_spans_jsonl,
     write_chrome_trace,
     write_events_jsonl,
     write_hops_jsonl,
     write_profiles_json,
+    write_spans_jsonl,
 )
 from repro.obs.lifecycle import HopRecord, PacketLifecycleTracer, probe_uids
 from repro.obs.manifest import (
@@ -59,6 +74,7 @@ from repro.obs.manifest import (
     write_manifest,
     write_timing,
 )
+from repro.obs.progress import ProgressReporter, resolve_progress
 from repro.obs.registry import (
     CounterMetric,
     GaugeMetric,
@@ -67,6 +83,14 @@ from repro.obs.registry import (
     instrument_network,
     instrument_traffic,
 )
+from repro.obs.spans import (
+    SpanRecord,
+    SpanTracer,
+    merge_spans,
+    read_span_dir,
+    summarize_spans,
+)
+from repro.obs.structlog import ObsLogger, obs_logger
 from repro.obs.tracer import EventRecord, KernelTracer, LabelProfile
 
 if TYPE_CHECKING:  # pragma: no cover - type-only imports
@@ -82,22 +106,38 @@ __all__ = [
     "KernelTracer",
     "LabelProfile",
     "MetricsRegistry",
+    "ObsLogger",
     "Observability",
     "PacketLifecycleTracer",
+    "ProgressReporter",
+    "SpanRecord",
+    "SpanTracer",
     "build_manifest",
+    "build_report",
+    "compare_reports",
+    "format_comparison",
     "instrument_network",
     "instrument_traffic",
+    "merge_spans",
+    "obs_logger",
     "probe_uids",
     "read_chrome_trace",
     "read_events_jsonl",
     "read_hops_jsonl",
     "read_manifest",
+    "read_report",
+    "read_span_dir",
+    "read_spans_jsonl",
     "read_timing",
+    "resolve_progress",
+    "summarize_spans",
     "write_chrome_trace",
     "write_events_jsonl",
     "write_hops_jsonl",
     "write_manifest",
     "write_profiles_json",
+    "write_report",
+    "write_spans_jsonl",
     "write_timing",
 ]
 

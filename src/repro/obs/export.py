@@ -22,6 +22,7 @@ from pathlib import Path
 from typing import Iterable, List, Optional, Union
 
 from repro.obs.lifecycle import HopRecord
+from repro.obs.spans import SpanRecord
 from repro.obs.tracer import EventRecord, KernelTracer
 from repro.units import seconds_to_us
 
@@ -92,6 +93,29 @@ def read_hops_jsonl(path: PathLike) -> List[HopRecord]:
     return records
 
 
+def write_spans_jsonl(records: Iterable[SpanRecord], path: PathLike) -> int:
+    """Write wall-clock span records as JSONL; returns the row count."""
+    path = _open_for_write(path)
+    count = 0
+    with path.open("w") as handle:
+        for record in records:
+            handle.write(json.dumps(record.as_dict(), sort_keys=True) + "\n")
+            count += 1
+    return count
+
+
+def read_spans_jsonl(path: PathLike) -> List[SpanRecord]:
+    """Read span records written by :func:`write_spans_jsonl`."""
+    records = []
+    with Path(path).open() as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            records.append(SpanRecord.from_dict(json.loads(line)))
+    return records
+
+
 def write_profiles_json(tracer: KernelTracer, path: PathLike) -> None:
     """Write a tracer's per-label profiles as one JSON document."""
     path = _open_for_write(path)
@@ -109,13 +133,18 @@ def write_profiles_json(tracer: KernelTracer, path: PathLike) -> None:
 # ----------------------------------------------------------------------
 def write_chrome_trace(path: PathLike,
                        events: Optional[Iterable[EventRecord]] = None,
-                       hops: Optional[Iterable[HopRecord]] = None) -> int:
+                       hops: Optional[Iterable[HopRecord]] = None,
+                       spans: Optional[Iterable[SpanRecord]] = None) -> int:
     """Write a Chrome ``trace_event`` file; returns the trace-event count.
 
     Kernel events land on the ``kernel`` track as complete slices
     (``ts`` = simulated µs, ``dur`` = wall-clock µs — slice width shows
     host cost).  Hop records land as instant events on one track per
     place, so a packet's path reads left to right across the tracks.
+    Campaign spans land as complete slices on one lane per worker process
+    (``pid`` = recording process, ``tid`` = worker label) on a *wall*
+    clock normalized to the earliest span — a whole campaign renders as
+    one flame graph of its host-time phases.
     """
     trace_events: List[dict] = []
     for record in (events or ()):
@@ -140,6 +169,21 @@ def write_chrome_trace(path: PathLike,
             "tid": hop.place,
             "args": hop.as_dict(),
         })
+    span_records = list(spans) if spans is not None else []
+    if span_records:
+        t0 = min(record.start for record in span_records)
+        for record in span_records:
+            trace_events.append({
+                "name": record.name or "<unnamed>",
+                "cat": "span",
+                "ph": "X",
+                "ts": seconds_to_us(record.start - t0),
+                "dur": seconds_to_us(record.duration),
+                "pid": record.pid,
+                "tid": record.worker,
+                "args": {"phase": record.phase, "cell": record.cell,
+                         "depth": record.depth},
+            })
     document = {"traceEvents": trace_events, "displayTimeUnit": "ms"}
     path = _open_for_write(path)
     path.write_text(json.dumps(document))

@@ -104,7 +104,8 @@ def read_manifest(path: Union[str, Path]) -> Dict[str, Any]:
 
 def write_timing(path: Union[str, Path], workers: int,
                  cell_wall_seconds: Dict[str, float],
-                 cache: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+                 cache: Optional[Dict[str, Any]] = None,
+                 spans: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
     """Write the execution-timing sidecar of a campaign run.
 
     Wall-clock timings are inherently non-deterministic, so they live in
@@ -112,10 +113,13 @@ def write_timing(path: Union[str, Path], workers: int,
     inside it: the manifest stays byte-identical across same-seed runs and
     across serial vs. parallel execution (DESIGN.md's determinism
     invariant), while the sidecar records how the run was executed —
-    worker count, per-cell wall seconds, and (when a cell cache was in
+    worker count, per-cell wall seconds, (when a cell cache was in
     play) the ``cache`` block: hits/misses, byte volumes, and the per-cell
-    hit-or-miss map.  Cache behaviour is execution mechanics, which is
-    exactly why it belongs here and never in the manifest.
+    hit-or-miss map, and (when span telemetry was enabled) the ``spans``
+    block: per-phase counts and wall totals from
+    :func:`repro.obs.spans.summarize_spans`.  Cache behaviour and span
+    telemetry are execution mechanics, which is exactly why they belong
+    here and never in the manifest.
 
     Returns the document that was written.
     """
@@ -127,6 +131,8 @@ def write_timing(path: Union[str, Path], workers: int,
     }
     if cache is not None:
         document["cache"] = cache
+    if spans is not None:
+        document["spans"] = spans
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")

@@ -1,0 +1,83 @@
+"""Structured logging for library code: events with key=value context.
+
+Library modules must not ``print`` (OBS001), and free-form log strings
+lose the context that makes a warning actionable — *which* cell's cache
+entry was corrupt, under *which* fingerprint.  :func:`obs_logger` wraps a
+stdlib logger in an :class:`ObsLogger` whose methods take an event name
+plus keyword context and render deterministically ordered ``key=value``
+pairs::
+
+    log = obs_logger("cache")
+    log.warning("cache-entry-unreadable", delta=0.05, seed=3,
+                fingerprint=fp, error=str(exc))
+    # -> WARNING repro.obs.cache: cache-entry-unreadable
+    #    delta=0.05 error='truncated zip' fingerprint='ab12...' seed=3
+
+The rendered message is stable for fixed context (keys sort), grep-able by
+event name, and still flows through the stdlib ``logging`` tree (logger
+names live under ``repro.obs.``), so applications configure handlers and
+levels exactly as before.  This module is deliberately dependency-free and
+side-effect-free at import time: it is safe to import from kernel-reachable
+code (unlike :mod:`repro.obs.spans` and friends, which OBS002 bans there).
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Any
+
+#: Prefix of every structured logger's stdlib name.
+_LOGGER_NAMESPACE = "repro.obs"
+
+
+def format_context(context: dict) -> str:
+    """Render keyword context as sorted ``key=value`` pairs.
+
+    Floats keep their repr (full precision); strings are repr-quoted so
+    embedded spaces cannot split a pair; everything else goes through
+    ``repr`` too.  Sorted keys make the rendering deterministic.
+    """
+    parts = []
+    for key in sorted(context):
+        value = context[key]
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            parts.append(f"{key}={value}")
+        else:
+            parts.append(f"{key}={value!r}")
+    return " ".join(parts)
+
+
+class ObsLogger:
+    """A stdlib logger wrapper speaking (event, **context)."""
+
+    def __init__(self, logger: logging.Logger) -> None:
+        self.logger = logger
+
+    def _emit(self, level: int, event: str, context: dict) -> None:
+        if not self.logger.isEnabledFor(level):
+            return
+        rendered = format_context(context)
+        if rendered:
+            self.logger.log(level, "%s %s", event, rendered)
+        else:
+            self.logger.log(level, "%s", event)
+
+    def debug(self, event: str, **context: Any) -> None:
+        self._emit(logging.DEBUG, event, context)
+
+    def info(self, event: str, **context: Any) -> None:
+        self._emit(logging.INFO, event, context)
+
+    def warning(self, event: str, **context: Any) -> None:
+        self._emit(logging.WARNING, event, context)
+
+    def error(self, event: str, **context: Any) -> None:
+        self._emit(logging.ERROR, event, context)
+
+    def __repr__(self) -> str:
+        return f"<ObsLogger {self.logger.name}>"
+
+
+def obs_logger(name: str) -> ObsLogger:
+    """The structured logger ``repro.obs.<name>``."""
+    return ObsLogger(logging.getLogger(f"{_LOGGER_NAMESPACE}.{name}"))

@@ -1,6 +1,23 @@
-"""OBS001: no print() in library code."""
+"""OBS001: no print() in library code.  OBS002: kernel telemetry ban."""
 
-from repro.devtools.core import audit_source, get_rule
+from repro.devtools.core import (
+    all_project_rules,
+    audit_source,
+    get_rule,
+)
+
+from tests.devtools.test_rules_flow import project_from, run_rule
+
+#: Minimal telemetry stubs so banned targets resolve as project modules.
+TELEMETRY_STUBS = {
+    "repro/obs/__init__.py": "",
+    "repro/obs/spans.py": ("class SpanTracer:\n"
+                           "    pass\n"),
+    "repro/obs/progress.py": ("class ProgressReporter:\n"
+                              "    pass\n"),
+    "repro/obs/bench.py": ("def build_report(suite, metrics):\n"
+                           "    return {}\n"),
+}
 
 
 def findings(source, path="src/repro/net/link.py"):
@@ -47,3 +64,127 @@ class TestObs001:
         result = audit_source("print('oops')\n",
                               path="src/repro/net/queue.py")
         assert any(f.rule == "OBS001" for f in result)
+
+
+def telemetry_project(tmp_path, files):
+    merged = dict(TELEMETRY_STUBS)
+    merged.update(files)
+    return project_from(tmp_path, merged)
+
+
+class TestObs002:
+    def test_registered_as_project_rule(self):
+        ids = {rule.rule_id for rule in all_project_rules()}
+        assert "OBS002" in ids
+
+    def test_spans_import_in_kernel_flagged(self, tmp_path):
+        project = telemetry_project(tmp_path, {
+            "repro/sim/kernel.py": (
+                "from repro.obs.spans import SpanTracer\n"
+                "class Simulator:\n"
+                "    def run(self):\n"
+                "        return SpanTracer()\n"),
+        })
+        findings = run_rule("OBS002", project)
+        assert len(findings) == 1
+        assert findings[0].path.endswith("repro/sim/kernel.py")
+        assert "repro.obs.spans" in findings[0].message
+
+    def test_import_without_call_still_flagged(self, tmp_path):
+        # The *import* is the violation: telemetry in scope on the hot
+        # path is one refactor away from being consulted.
+        project = telemetry_project(tmp_path, {
+            "repro/sim/kernel.py": (
+                "import repro.obs.progress\n"
+                "class Simulator:\n"
+                "    def run(self):\n"
+                "        return 1\n"),
+        })
+        findings = run_rule("OBS002", project)
+        assert len(findings) == 1
+        assert "repro.obs.progress" in findings[0].message
+
+    def test_reachable_helper_module_flagged(self, tmp_path):
+        project = telemetry_project(tmp_path, {
+            "repro/sim/kernel.py": (
+                "from repro.sim.tick import advance\n"
+                "class Simulator:\n"
+                "    def run(self):\n"
+                "        return advance()\n"),
+            "repro/sim/tick.py": (
+                "from repro.obs.bench import build_report\n"
+                "def advance():\n"
+                "    return 0\n"),
+        })
+        findings = run_rule("OBS002", project)
+        assert len(findings) == 1
+        assert findings[0].path.endswith("repro/sim/tick.py")
+        assert "repro.obs.bench" in findings[0].message
+
+    def test_message_carries_provenance_chain(self, tmp_path):
+        project = telemetry_project(tmp_path, {
+            "repro/sim/kernel.py": (
+                "from repro.sim.tick import advance\n"
+                "class Simulator:\n"
+                "    def run(self):\n"
+                "        return advance()\n"),
+            "repro/sim/tick.py": (
+                "from repro.obs.spans import SpanTracer\n"
+                "def advance():\n"
+                "    return SpanTracer()\n"),
+        })
+        message = run_rule("OBS002", project)[0].message
+        assert "repro.sim.kernel.Simulator.run" in message
+        assert "repro.sim.tick.advance" in message
+
+    def test_campaign_worker_may_emit_spans(self, tmp_path):
+        # _run_cell wraps the simulation in spans by design; only the
+        # Simulator.run call graph is off-limits.
+        project = telemetry_project(tmp_path, {
+            "repro/sim/kernel.py": (
+                "class Simulator:\n"
+                "    def run(self):\n"
+                "        return 1\n"),
+            "repro/experiments/__init__.py": "",
+            "repro/experiments/campaign.py": (
+                "from repro.obs.spans import SpanTracer\n"
+                "from repro.sim.kernel import Simulator\n"
+                "def _run_cell(spec):\n"
+                "    tracer = SpanTracer()\n"
+                "    return Simulator().run()\n"),
+        })
+        assert run_rule("OBS002", project) == []
+
+    def test_unreachable_module_not_flagged(self, tmp_path):
+        project = telemetry_project(tmp_path, {
+            "repro/sim/kernel.py": (
+                "class Simulator:\n"
+                "    def run(self):\n"
+                "        return 1\n"),
+            "repro/report.py": (
+                "from repro.obs.bench import build_report\n"
+                "def render():\n"
+                "    return build_report('x', {})\n"),
+        })
+        assert run_rule("OBS002", project) == []
+
+    def test_non_telemetry_obs_import_ok(self, tmp_path):
+        # The registry/tracer side of repro.obs stays allowed; only the
+        # campaign telemetry trio is banned.
+        project = telemetry_project(tmp_path, {
+            "repro/obs/registry.py": ("class MetricsRegistry:\n"
+                                      "    pass\n"),
+            "repro/sim/kernel.py": (
+                "from repro.obs.registry import MetricsRegistry\n"
+                "class Simulator:\n"
+                "    def run(self):\n"
+                "        return MetricsRegistry()\n"),
+        })
+        assert run_rule("OBS002", project) == []
+
+    def test_real_tree_is_clean(self):
+        from repro.devtools.fingerprint import default_package_dir
+        from repro.devtools.symbols import Project
+
+        project = Project.from_package(default_package_dir())
+        assert run_rule("OBS002", project) == []

@@ -108,7 +108,9 @@ class TestDerivedSalt:
         with caplog.at_level("WARNING"):
             salt = cache_salt()
         assert salt == cache_module._FALLBACK_SALT
-        assert "could not derive" in caplog.text
+        assert "cache-salt-underivable" in caplog.text
+        assert "no sources" in caplog.text
+        assert caplog.records[-1].name == "repro.obs.cache"
         monkeypatch.setattr(cache_module, "_salt_cache", None)
 
 

@@ -1,0 +1,163 @@
+"""Campaign telemetry: spans/progress must never perturb the results.
+
+The zero-perturbation invariant (DESIGN.md), extended to campaign
+telemetry: a same-seed campaign with spans and progress enabled produces
+byte-identical ``manifest.json``, summary tables, and per-cell trace CSVs
+versus one with telemetry off.  Wall-clock data is quarantined in the
+span directory and the ``timing.json`` sidecar.
+"""
+
+import io
+
+from repro.experiments.campaign import CampaignSpec, run_campaign
+from repro.obs import read_timing
+from repro.obs.export import read_chrome_trace, read_spans_jsonl
+from repro.obs.progress import ProgressReporter
+from repro.obs.spans import (
+    CHROME_SPAN_FILE,
+    MERGED_SPAN_FILE,
+    PHASE_ANALYSIS,
+    PHASE_CAMPAIGN,
+    PHASE_CELL,
+    PHASE_MERGE,
+    PHASE_SETUP,
+    PHASE_SIM,
+    read_span_dir,
+)
+
+
+def grid_spec(output_dir, **kwargs):
+    defaults = dict(deltas=(0.1, 0.2), seeds=(1, 2), duration=5.0,
+                    scenario_kwargs={"utilization_fwd": 0.3,
+                                     "utilization_rev": 0.3},
+                    output_dir=output_dir)
+    defaults.update(kwargs)
+    return CampaignSpec(**defaults)
+
+
+def quiet_reporter(total=4, workers=2):
+    return ProgressReporter(total=total, workers=workers,
+                            stream=io.StringIO())
+
+
+class TestZeroPerturbation:
+    def test_telemetry_on_is_byte_identical_to_off(self, tmp_path):
+        """Acceptance criterion: spans+progress change no deterministic
+        artifact — not the manifest, not the tables, not one trace CSV."""
+        plain_dir = tmp_path / "plain"
+        traced_dir = tmp_path / "traced"
+        plain = run_campaign(grid_spec(plain_dir), workers=1)
+        traced = run_campaign(grid_spec(traced_dir), workers=2,
+                              spans=True, progress=quiet_reporter())
+
+        assert plain.table() == traced.table()
+        assert plain.queue_table() == traced.queue_table()
+        assert (plain_dir / "manifest.json").read_bytes() \
+            == (traced_dir / "manifest.json").read_bytes()
+        names = sorted(p.name for p in plain_dir.glob("trace_*.csv"))
+        assert names == sorted(p.name
+                               for p in traced_dir.glob("trace_*.csv"))
+        assert len(names) == 4
+        for name in names:
+            assert (plain_dir / name).read_bytes() \
+                == (traced_dir / name).read_bytes(), name
+
+    def test_span_artifacts_quarantined_outside_manifest(self, tmp_path):
+        run_campaign(grid_spec(tmp_path, deltas=(0.1,), seeds=(1,)),
+                     spans=True)
+        manifest = (tmp_path / "manifest.json").read_text()
+        assert "span" not in manifest
+        timing = read_timing(tmp_path / "timing.json")
+        assert "spans" in timing
+
+
+class TestSpanRecording:
+    def test_merged_spans_cover_every_phase(self, tmp_path):
+        run_campaign(grid_spec(tmp_path, deltas=(0.1,), seeds=(1, 2)),
+                     workers=2, spans=True)
+        span_dir = tmp_path / "spans"
+        merged = read_spans_jsonl(span_dir / MERGED_SPAN_FILE)
+        phases = {span.phase for span in merged}
+        assert {PHASE_CAMPAIGN, PHASE_CELL, PHASE_SETUP, PHASE_SIM,
+                PHASE_ANALYSIS, PHASE_MERGE} <= phases
+        cells = {span.cell for span in merged if span.phase == PHASE_CELL}
+        assert cells == {"d100_s1", "d100_s2"}
+        # Grid order, not completion order: s1's spans precede s2's.
+        cell_sequence = [span.cell for span in merged if span.cell]
+        assert cell_sequence == sorted(cell_sequence)
+
+    def test_worker_files_cleaned_after_merge(self, tmp_path):
+        run_campaign(grid_spec(tmp_path, deltas=(0.1,), seeds=(1,)),
+                     workers=2, spans=True)
+        span_dir = tmp_path / "spans"
+        assert read_span_dir(span_dir) == []  # per-worker files gone
+        assert (span_dir / MERGED_SPAN_FILE).exists()
+
+    def test_chrome_trace_written_for_campaign(self, tmp_path):
+        run_campaign(grid_spec(tmp_path, deltas=(0.1,), seeds=(1,)),
+                     spans=True)
+        rows = read_chrome_trace(tmp_path / "spans" / CHROME_SPAN_FILE)
+        assert rows
+        assert all(row["cat"] == "span" and row["ph"] == "X"
+                   for row in rows)
+        assert any(row["args"]["phase"] == PHASE_SIM for row in rows)
+
+    def test_explicit_span_dir_without_output_dir(self, tmp_path):
+        span_dir = tmp_path / "just-spans"
+        run_campaign(grid_spec(None, deltas=(0.1,), seeds=(1,)),
+                     spans=span_dir)
+        assert (span_dir / MERGED_SPAN_FILE).exists()
+
+    def test_stale_worker_files_ignored(self, tmp_path):
+        # A crashed earlier run leaves worker files behind; a new run
+        # must not merge those foreign records into its own log.
+        from repro.obs.spans import SpanRecord, append_spans
+        span_dir = tmp_path / "spans"
+        span_dir.mkdir(parents=True)
+        append_spans(span_dir, [SpanRecord(
+            name="stale", phase="cell", start=1.0, duration=1.0,
+            pid=999, worker="w999", cell="d999_s9")])
+        run_campaign(grid_spec(tmp_path, deltas=(0.1,), seeds=(1,)),
+                     spans=True)
+        merged = read_spans_jsonl(span_dir / MERGED_SPAN_FILE)
+        assert all(span.name != "stale" for span in merged)
+
+    def test_spans_off_touches_nothing(self, tmp_path):
+        run_campaign(grid_spec(tmp_path, deltas=(0.1,), seeds=(1,)))
+        assert not (tmp_path / "spans").exists()
+
+    def test_timing_summary_aggregates_phases(self, tmp_path):
+        run_campaign(grid_spec(tmp_path, deltas=(0.1,), seeds=(1, 2)),
+                     spans=True)
+        summary = read_timing(tmp_path / "timing.json")["spans"]
+        assert summary[PHASE_CELL]["count"] == 2
+        assert summary[PHASE_SIM]["count"] == 2
+        assert summary[PHASE_CAMPAIGN]["count"] == 1
+        assert summary[PHASE_SIM]["total_seconds"] > 0
+
+
+class TestProgressFeed:
+    def test_reporter_sees_every_cell(self, tmp_path):
+        reporter = quiet_reporter(total=4, workers=2)
+        run_campaign(grid_spec(None), workers=2, progress=reporter)
+        assert reporter.done == 4
+        assert reporter.cached == 0
+        assert reporter.busy_seconds > 0
+        output = reporter.stream.getvalue()
+        assert "campaign 4/4 cells" in output
+        assert output.endswith("\n")  # finished line
+
+    def test_cache_hits_reported_separately(self, tmp_path):
+        from repro.experiments.cache import CampaignCache
+        cache = CampaignCache(tmp_path / "cache")
+        spec = grid_spec(None, deltas=(0.1,), seeds=(1, 2))
+        run_campaign(spec, cache=cache)  # cold fill
+        reporter = quiet_reporter(total=2, workers=1)
+        run_campaign(spec, cache=cache, progress=reporter)
+        assert reporter.done == 2
+        assert reporter.cached == 2
+
+    def test_progress_off_by_default_writes_nothing(self, capsys):
+        run_campaign(grid_spec(None, deltas=(0.1,), seeds=(1,)))
+        captured = capsys.readouterr()
+        assert captured.err == ""

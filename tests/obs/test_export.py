@@ -9,16 +9,19 @@ from repro.obs import (
     HopRecord,
     KernelTracer,
     Observability,
+    SpanRecord,
     build_manifest,
     read_chrome_trace,
     read_events_jsonl,
     read_hops_jsonl,
     read_manifest,
+    read_spans_jsonl,
     write_chrome_trace,
     write_events_jsonl,
     write_hops_jsonl,
     write_manifest,
     write_profiles_json,
+    write_spans_jsonl,
 )
 from repro.sim import Simulator
 
@@ -52,6 +55,43 @@ class TestJsonlRoundTrip:
         path.write_text(path.read_text() + "\n\n")
         assert read_events_jsonl(path) == EVENTS
 
+    def test_spans(self, tmp_path):
+        spans = [SpanRecord(name="cell d50_s1", phase="cell", start=100.0,
+                            duration=2.0, pid=11, worker="w11",
+                            cell="d50_s1"),
+                 SpanRecord(name="sim", phase="sim", start=100.5,
+                            duration=1.0, pid=11, worker="w11",
+                            cell="d50_s1", depth=1)]
+        path = tmp_path / "spans.jsonl"
+        assert write_spans_jsonl(spans, path) == 2
+        assert read_spans_jsonl(path) == spans
+
+    def test_empty_ring_buffer_round_trips(self, tmp_path):
+        # A tracer that saw nothing still exports a valid (empty) file.
+        tracer = KernelTracer()
+        path = tmp_path / "events.jsonl"
+        assert write_events_jsonl(tracer.records, path) == 0
+        assert read_events_jsonl(path) == []
+        assert write_chrome_trace(tmp_path / "trace.json",
+                                  events=tracer.records) == 0
+        assert read_chrome_trace(tmp_path / "trace.json") == []
+
+    def test_wrapped_ring_buffer_exports_survivors_only(self, tmp_path):
+        # Capacity 3, 10 events: the ring keeps the last 3; the export
+        # must contain exactly those, in order, and nothing overwritten.
+        sim = Simulator(seed=1)
+        tracer = KernelTracer(capacity=3)
+        sim.attach_observer(tracer)
+        for n in range(10):
+            sim.call_at(float(n), lambda: None, label=f"tick-{n}")
+        sim.run()
+        assert tracer.events_seen == 10
+        assert tracer.overwritten == 7
+        path = tmp_path / "events.jsonl"
+        assert write_events_jsonl(tracer.records, path) == 3
+        labels = [record.label for record in read_events_jsonl(path)]
+        assert labels == ["tick-7", "tick-8", "tick-9"]
+
 
 class TestChromeTrace:
     def test_round_trip_and_layout(self, tmp_path):
@@ -75,6 +115,38 @@ class TestChromeTrace:
     def test_events_only(self, tmp_path):
         path = tmp_path / "trace.json"
         assert write_chrome_trace(path, events=EVENTS) == 2
+
+    def test_multi_worker_span_merge_lanes(self, tmp_path):
+        # Spans merged from two worker processes: one lane per worker
+        # (pid/tid), timestamps normalized to the earliest span so the
+        # whole campaign reads as one flame graph from t=0.
+        from repro.obs.spans import merge_spans
+
+        epoch = 1700000000.0
+        spans = [
+            SpanRecord(name="cell d50_s2", phase="cell", start=epoch + 1.0,
+                       duration=2.0, pid=12, worker="w12", cell="d50_s2"),
+            SpanRecord(name="cell d50_s1", phase="cell", start=epoch + 1.5,
+                       duration=1.0, pid=11, worker="w11", cell="d50_s1"),
+            SpanRecord(name="campaign", phase="campaign", start=epoch,
+                       duration=4.0, pid=10, worker="main"),
+        ]
+        merged = merge_spans(spans, ["d50_s1", "d50_s2"])
+        path = tmp_path / "trace.json"
+        assert write_chrome_trace(path, spans=merged) == 3
+        rows = read_chrome_trace(path)
+        assert [row["name"] for row in rows] \
+            == ["campaign", "cell d50_s1", "cell d50_s2"]
+        assert all(row["cat"] == "span" and row["ph"] == "X"
+                   for row in rows)
+        # One lane per recording process.
+        assert [(row["pid"], row["tid"]) for row in rows] \
+            == [(10, "main"), (11, "w11"), (12, "w12")]
+        # Wall clock normalized to the earliest span, in microseconds.
+        assert rows[0]["ts"] == pytest.approx(0.0)
+        assert rows[1]["ts"] == pytest.approx(1.5e6)
+        assert rows[1]["dur"] == pytest.approx(1.0e6)
+        assert rows[2]["args"]["cell"] == "d50_s2"
 
 
 class TestProfilesJson:

@@ -101,6 +101,41 @@ class TestDropsAndFilters:
         for fate in lost_fates:
             assert fate is not None
 
+    def test_join_stays_index_aligned_under_loss(self):
+        # The probe<->lifecycle join is positional: probe n of the trace
+        # is the n-th UDP packet created at the source.  Dropped probes
+        # must not shift the alignment — every later probe still joins to
+        # its own path.
+        scenario = build_inria_umd(seed=3)
+        tracer = PacketLifecycleTracer(scenario.network)
+        scenario.start_traffic()
+        trace = run_probe_experiment(scenario.network, scenario.source,
+                                     scenario.echo, delta=0.02, count=400,
+                                     start_at=10.0)
+        tracer.close()
+        assert trace.loss_count > 0
+        uids = probe_uids(tracer, scenario.source, scenario.echo)
+        assert len(uids) == len(trace)
+        lost = [n for n in range(len(trace)) if trace.rtts[n] == LOST]
+        survivors = [n for n in range(len(trace)) if trace.rtts[n] != LOST]
+        for n in lost + survivors[-3:]:
+            path = tracer.path(uids[n])
+            assert path[0].event == EVENT_CREATED
+            assert path[0].time == pytest.approx(trace.send_times[n])
+        # A lost probe's outbound uid still has a terminal fate: either a
+        # drop on the outbound leg, or 'received' at the echo host when
+        # the *return* leg's packet was the one dropped.
+        for n in lost:
+            fate = tracer.fate(uids[n])
+            assert fate is not None
+            assert fate.event in TERMINAL_EVENTS
+        outbound_drop_uids = {record.uid for record in tracer.drops()}
+        returned = [n for n in lost
+                    if uids[n] not in outbound_drop_uids]
+        dropped_outbound = [n for n in lost
+                            if uids[n] in outbound_drop_uids]
+        assert len(returned) + len(dropped_outbound) == len(lost)
+
     def test_kind_filter(self):
         scenario = build_inria_umd(seed=3)
         tracer = PacketLifecycleTracer(scenario.network,

@@ -157,6 +157,53 @@ class TestCampaignCli:
         assert cli.main_campaign(base + ["--refresh"]) == 0
         assert "cache: 0 hits, 1 miss" in capsys.readouterr().out
 
+    def test_spans_flag_writes_span_artifacts(self, tmp_path, capsys):
+        out_dir = tmp_path / "campaign"
+        code = cli.main_campaign(["--deltas-ms", "100", "--seeds", "1",
+                                  "--duration", "5",
+                                  "--output-dir", str(out_dir), "--spans"])
+        assert code == 0
+        assert "spans written to" in capsys.readouterr().out
+        assert (out_dir / "spans" / "spans.jsonl").exists()
+        assert (out_dir / "spans" / "trace.json").exists()
+
+    def test_spans_explicit_directory(self, tmp_path, capsys):
+        span_dir = tmp_path / "telemetry"
+        code = cli.main_campaign(["--deltas-ms", "100", "--seeds", "1",
+                                  "--duration", "5",
+                                  "--spans", str(span_dir)])
+        assert code == 0
+        assert (span_dir / "spans.jsonl").exists()
+
+    def test_spans_without_output_dir_rejected(self):
+        with pytest.raises(SystemExit):
+            cli.main_campaign(["--spans"])
+
+    def test_progress_flags_mutually_exclusive(self):
+        with pytest.raises(SystemExit):
+            cli.main_campaign(["--progress", "--no-progress"])
+
+    def test_progress_auto_off_when_not_a_tty(self, capsys):
+        # pytest's captured stderr is not a TTY, so the default (auto)
+        # must not draw progress lines into it.
+        code = cli.main_campaign(["--deltas-ms", "100", "--seeds", "1",
+                                  "--duration", "5"])
+        assert code == 0
+        assert "\r" not in capsys.readouterr().err
+
+    def test_progress_forced_on(self, capsys):
+        code = cli.main_campaign(["--deltas-ms", "100", "--seeds", "1",
+                                  "--duration", "5", "--progress"])
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "campaign 1/1 cells" in err
+
+    def test_no_progress_silences(self, capsys):
+        code = cli.main_campaign(["--deltas-ms", "100", "--seeds", "1",
+                                  "--duration", "5", "--no-progress"])
+        assert code == 0
+        assert capsys.readouterr().err == ""
+
 
 class TestFiguresCli:
     def test_single_figure(self, capsys):
@@ -185,6 +232,112 @@ class TestFiguresCli:
         from repro.netdyn.trace import ProbeTrace
         trace = ProbeTrace.load_csv(tmp_path / "figure1_trace.csv")
         assert len(trace) == 800
+
+
+TOY_SUITE = '''\
+from repro.obs.bench import build_report, metric
+
+SUITE = "toy"
+
+
+def run_suite(quick=False):
+    return build_report(SUITE,
+                        {"speed": metric(2.0 if quick else 4.0, "x")},
+                        mode="quick" if quick else "full",
+                        salt="repro-cell-v2-toy")
+'''
+
+
+class TestBenchCli:
+    @pytest.fixture()
+    def bench_dir(self, tmp_path):
+        directory = tmp_path / "benchmarks"
+        directory.mkdir()
+        (directory / "toy_suite.py").write_text(TOY_SUITE)
+        (directory / "test_perf_toy.py").write_text(
+            "SUITE = 'ignored'\n")  # test_ files are never suites
+        (directory / "helper.py").write_text("def nothing():\n    pass\n")
+        return directory
+
+    def test_run_discovers_and_writes_report(self, bench_dir, capsys):
+        code = cli.main_bench(["run", "--benchmarks-dir", str(bench_dir)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "toy: speed=4 x" in out
+        from repro.obs.bench import read_report
+        report = read_report(bench_dir / "BENCH_toy.json")
+        assert report["suite"] == "toy"
+        assert report["mode"] == "full"
+
+    def test_run_quick_mode(self, bench_dir, capsys):
+        code = cli.main_bench(["run", "toy", "--quick",
+                               "--benchmarks-dir", str(bench_dir)])
+        assert code == 0
+        from repro.obs.bench import read_report
+        report = read_report(bench_dir / "BENCH_toy.json")
+        assert report["mode"] == "quick"
+        assert report["metrics"]["speed"]["value"] == 2.0
+
+    def test_run_separate_output_dir(self, bench_dir, tmp_path, capsys):
+        out_dir = tmp_path / "artifacts"
+        code = cli.main_bench(["run", "toy",
+                               "--benchmarks-dir", str(bench_dir),
+                               "--output-dir", str(out_dir)])
+        assert code == 0
+        assert (out_dir / "BENCH_toy.json").exists()
+        assert not (bench_dir / "BENCH_toy.json").exists()
+
+    def test_run_unknown_suite_rejected(self, bench_dir):
+        with pytest.raises(SystemExit):
+            cli.main_bench(["run", "nope",
+                            "--benchmarks-dir", str(bench_dir)])
+
+    def test_real_benchmarks_dir_discovered(self, tmp_path, capsys):
+        # The repo's own benchmarks/ must expose all four suites without
+        # running them: unknown-suite errors list what was discovered.
+        with pytest.raises(SystemExit):
+            cli.main_bench(["run", "definitely-not-a-suite"])
+        err = capsys.readouterr().err
+        for suite in ("cache", "campaign", "kernel", "obs"):
+            assert suite in err
+
+    def compare(self, tmp_path, old_value, new_value, threshold=None):
+        from repro.obs.bench import build_report, metric, write_report
+        old = tmp_path / "old.json"
+        new = tmp_path / "new.json"
+        write_report(build_report(
+            "toy", {"speed": metric(old_value, "x")},
+            salt="repro-cell-v2-toy"), old)
+        write_report(build_report(
+            "toy", {"speed": metric(new_value, "x")},
+            salt="repro-cell-v2-toy"), new)
+        args = ["compare", str(old), str(new)]
+        if threshold is not None:
+            args += ["--threshold", str(threshold)]
+        return cli.main_bench(args)
+
+    def test_compare_identical_passes(self, tmp_path, capsys):
+        assert self.compare(tmp_path, 4.0, 4.0) == 0
+        out = capsys.readouterr().out
+        assert "ok  speed" in out
+        assert "0 regression(s)" in out
+
+    def test_compare_regression_exits_non_zero(self, tmp_path, capsys):
+        # Acceptance criterion: a >= 10% injected regression fails.
+        assert self.compare(tmp_path, 4.0, 3.5) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSION  speed" in out
+        assert "1 regression(s)" in out
+
+    def test_compare_threshold_flag(self, tmp_path, capsys):
+        assert self.compare(tmp_path, 4.0, 3.5, threshold=0.2) == 0
+
+    def test_compare_unreadable_report_exits_two(self, tmp_path, capsys):
+        bogus = tmp_path / "bogus.json"
+        bogus.write_text("{}")
+        code = cli.main_bench(["compare", str(bogus), str(bogus)])
+        assert code == 2
+        assert "repro-bench:" in capsys.readouterr().err
 
 
 class TestTracerouteCli:
