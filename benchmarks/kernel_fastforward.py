@@ -1,0 +1,144 @@
+"""Measure analytic-vs-event speedup; ``benchmarks/BENCH_fastforward.json``.
+
+Run directly (CI's fastforward-smoke job does) or via ``repro-bench run
+fastforward``::
+
+    python benchmarks/kernel_fastforward.py [OUTPUT.json] [--quick]
+
+Runs one calibrated cell (INRIA-UMd, delta=0.05) twice: once through the
+event kernel (``run_experiment``) and once through the analytic
+fast-forward engine (``run_fastforward_experiment``), which replays the
+same RNG draws through vectorized Lindley recursions and a fluid
+bottleneck instead of simulating every packet event.  Records both wall
+times, the speedup, and the equivalence of the two traces — which must
+be *bit-identical*: same loss mask, zero RTT gap — in the shared
+``repro-bench`` report schema (:mod:`repro.obs.bench`).
+``benchmarks/test_perf_fastforward.py`` asserts the >= 10x speedup floor
+and the equivalence; a report whose traces diverged benchmarked a bug,
+not a fast path.
+
+``--quick`` shrinks the simulated duration (CI smoke); quick numbers are
+only comparable to other quick runs, and the report says which mode ran.
+"""
+
+from __future__ import annotations
+
+import sys
+from time import perf_counter
+
+import numpy as np
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.fastforward import run_fastforward_experiment
+from repro.experiments.runner import run_experiment
+from repro.netdyn.trace import LOST
+from repro.obs.bench import (
+    LOWER_IS_BETTER,
+    build_report,
+    metric,
+    write_report,
+)
+
+SUITE = "fastforward"
+
+#: The calibrated cell: long enough that the event kernel executes
+#: millions of events while the analytic engine stays vectorized.
+BENCH_CELL = dict(delta=0.05, seed=3, scenario="inria-umd")
+FULL_DURATION = 120.0
+QUICK_DURATION = 20.0
+
+#: Analytic passes are cheap; take the best of several.  The event pass
+#: dominates the budget and runs once.
+ANALYTIC_ROUNDS = 3
+
+#: Required analytic-over-event speedup (asserted by
+#: test_perf_fastforward.py and the CI compare gate).
+SPEEDUP_FLOOR = 10.0
+
+
+def _config(duration: float, mode: str) -> ExperimentConfig:
+    return ExperimentConfig(duration=duration, mode=mode, **BENCH_CELL)
+
+
+def _equivalence(event_trace, analytic_trace) -> dict:
+    """Trace agreement facts: loss masks and RTT gap in clock ticks."""
+    event_lost = event_trace.rtts == LOST
+    analytic_lost = analytic_trace.rtts == LOST
+    losses_identical = bool(np.array_equal(event_lost, analytic_lost))
+    received = ~event_lost & ~analytic_lost
+    if received.any():
+        gap = float(np.abs(event_trace.rtts[received]
+                           - analytic_trace.rtts[received]).max())
+    else:
+        gap = 0.0
+    resolution = float(analytic_trace.meta["clock_resolution"])
+    return {
+        "losses_identical": losses_identical,
+        "max_rtt_gap_seconds": gap,
+        "max_rtt_gap_ticks": gap / resolution if resolution else 0.0,
+        "clock_resolution": resolution,
+        "probes": len(event_trace),
+    }
+
+
+def collect(quick: bool = False) -> dict:
+    """Time the cell through both kernels; derive speedup + equivalence."""
+    duration = QUICK_DURATION if quick else FULL_DURATION
+
+    started = perf_counter()
+    event_trace = run_experiment(_config(duration, "event"))
+    event_seconds = perf_counter() - started
+
+    analytic_seconds = float("inf")
+    analytic_trace = None
+    for _ in range(ANALYTIC_ROUNDS):
+        started = perf_counter()
+        result = run_fastforward_experiment(_config(duration, "analytic"))
+        analytic_seconds = min(analytic_seconds, perf_counter() - started)
+        analytic_trace = result.trace
+        assert result.mode_used == "analytic", result.fallback_reasons
+
+    return {
+        "cell": dict(BENCH_CELL, duration=duration),
+        "analytic_rounds": ANALYTIC_ROUNDS,
+        "event_seconds": event_seconds,
+        "analytic_seconds": analytic_seconds,
+        "speedup": event_seconds / analytic_seconds,
+        "equivalence": _equivalence(event_trace, analytic_trace),
+    }
+
+
+def run_suite(quick: bool = False) -> dict:
+    """One schema-versioned ``repro-bench`` report for this suite."""
+    details = collect(quick=quick)
+    metrics = {
+        "event_seconds": metric(details["event_seconds"], "s",
+                                direction=LOWER_IS_BETTER),
+        "analytic_seconds": metric(details["analytic_seconds"], "s",
+                                   direction=LOWER_IS_BETTER),
+        "analytic_speedup": metric(details["speedup"], "x"),
+    }
+    return build_report(SUITE, metrics,
+                        mode="quick" if quick else "full", details=details)
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else list(argv)
+    quick = "--quick" in argv
+    if quick:
+        argv.remove("--quick")
+    output = argv[0] if argv else "benchmarks/BENCH_fastforward.json"
+
+    report = run_suite(quick=quick)
+    details = report["details"]
+    write_report(report, output)
+    sys.stderr.write(
+        f"event: {details['event_seconds']:.2f}s  analytic: "
+        f"{details['analytic_seconds']:.2f}s  speedup: "
+        f"{details['speedup']:.1f}x\n")
+    sys.stderr.write(f"wrote {output}\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,47 @@
+"""Analytic fast-forward benchmarks.
+
+The governing requirement of the analytic mode (DESIGN.md): event mode is
+golden — the fast-forward must reproduce its traces bit for bit — and a
+calibrated cell must run at least an order of magnitude faster
+analytically.  This module records the numbers in
+``BENCH_fastforward.json`` and asserts both halves.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+from kernel_fastforward import SPEEDUP_FLOOR, run_suite
+
+from repro.obs.bench import write_report
+
+
+@pytest.fixture(scope="module")
+def fastforward_document():
+    """Run both kernels once and persist BENCH_fastforward.json."""
+    report = run_suite()
+    out = Path(__file__).resolve().parent / "BENCH_fastforward.json"
+    write_report(report, out)
+    return report["details"]
+
+
+def test_document_complete(fastforward_document):
+    assert fastforward_document["event_seconds"] > 0
+    assert fastforward_document["analytic_seconds"] > 0
+    assert fastforward_document["equivalence"]["probes"] > 0
+
+
+def test_analytic_speedup_floor(fastforward_document):
+    """The analytic mode must beat the event kernel >= 10x on the cell."""
+    assert fastforward_document["speedup"] >= SPEEDUP_FLOOR, \
+        (f"analytic {fastforward_document['analytic_seconds']:.2f}s vs "
+         f"event {fastforward_document['event_seconds']:.2f}s = "
+         f"{fastforward_document['speedup']:.1f}x")
+
+
+def test_traces_stay_equivalent(fastforward_document):
+    """Speed means nothing if the answers drift (event mode is golden)."""
+    equivalence = fastforward_document["equivalence"]
+    assert equivalence["losses_identical"] is True
+    assert equivalence["max_rtt_gap_seconds"] == 0.0

@@ -37,6 +37,7 @@ from repro.analysis.distributions import (
 from repro.analysis.lindley import (
     estimate_batch_bits,
     lindley_waits,
+    lindley_waits_loop,
     positive_part,
     probe_waits_with_batches,
 )
@@ -99,8 +100,8 @@ __all__ = [
     "CompressionEpisode", "CompressionReport", "detect_compression",
     "ConstantPlusGammaFit", "delay_histogram", "ecdf",
     "fit_constant_plus_gamma", "playback_buffer_delay",
-    "estimate_batch_bits", "lindley_waits", "positive_part",
-    "probe_waits_with_batches",
+    "estimate_batch_bits", "lindley_waits", "lindley_waits_loop",
+    "positive_part", "probe_waits_with_batches",
     "GilbertModel", "LossStats", "RunsTestResult", "fit_gilbert",
     "loss_gap_distribution", "loss_runs", "loss_stats", "mean_loss_gap",
     "runs_test",

@@ -51,6 +51,12 @@ def main_experiment(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--scenario", choices=("inria-umd", "umd-pitt"),
                         default="inria-umd")
     parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--mode", choices=("event", "analytic"),
+                        default="event",
+                        help="execution mode: exact event simulation "
+                             "(default) or the analytic bottleneck "
+                             "fast-forward (falls back to event when the "
+                             "scenario is not aggregatable)")
     parser.add_argument("--save-trace", metavar="PATH",
                         help="write the trace as CSV")
     parser.add_argument("--trace", metavar="FILE",
@@ -70,8 +76,11 @@ def main_experiment(argv: Optional[Sequence[str]] = None) -> int:
 
     config = ExperimentConfig(delta=ms(args.delta_ms),
                               duration=args.duration, seed=args.seed,
-                              scenario=args.scenario)
+                              scenario=args.scenario, mode=args.mode)
     observed = bool(args.trace or args.metrics or args.manifest)
+    if observed and args.mode == "analytic":
+        parser.error("--trace/--metrics/--manifest record event-kernel "
+                     "activity; they cannot combine with --mode analytic")
     obs = None
     if observed:
         trace, _scenario, obs = run_observed_experiment(
@@ -166,6 +175,12 @@ def main_campaign(argv: Optional[Sequence[str]] = None) -> int:
                              "(default 120)")
     parser.add_argument("--scenario", choices=("inria-umd", "umd-pitt"),
                         default="inria-umd")
+    parser.add_argument("--mode", choices=("event", "analytic"),
+                        default="event",
+                        help="execution mode for every cell: exact event "
+                             "simulation (default) or the analytic "
+                             "bottleneck fast-forward.  The mode is part "
+                             "of each cell's cache fingerprint")
     parser.add_argument("--workers", type=int, default=1,
                         help="worker processes for the grid (default 1 = "
                              "serial)")
@@ -215,7 +230,8 @@ def main_campaign(argv: Optional[Sequence[str]] = None) -> int:
 
     spec = CampaignSpec(deltas=tuple(ms(d) for d in args.deltas_ms),
                         seeds=tuple(args.seeds), duration=args.duration,
-                        scenario=args.scenario, output_dir=args.output_dir)
+                        scenario=args.scenario, output_dir=args.output_dir,
+                        mode=args.mode)
     progress = {None: "auto", True: "on", False: "off"}[args.progress]
     result = run_campaign(spec, workers=args.workers, cache=cache,
                           spans=args.spans, progress=progress)

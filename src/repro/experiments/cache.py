@@ -119,11 +119,13 @@ def cell_fingerprint(spec: "CampaignSpec", delta: float, seed: int,
 
     Two cells share a fingerprint exactly when nothing that can influence
     the simulated result differs: scenario name + kwargs, δ, seed,
-    duration, warm-up, probe payload/wire bytes, and the code-version
-    ``salt`` (default: the derived :func:`cache_salt`).  ``output_dir``,
-    worker counts, and every other bit of execution mechanics are
-    deliberately excluded — they change where results go, never what
-    they are.
+    duration, warm-up, execution mode (event vs analytic — the analytic
+    fast-forward is equivalent only to a stated tolerance, so its cells
+    must never shadow event-mode entries), probe payload/wire bytes, and
+    the code-version ``salt`` (default: the derived :func:`cache_salt`).
+    ``output_dir``, worker counts, and every other bit of execution
+    mechanics are deliberately excluded — they change where results go,
+    never what they are.
     """
     if salt is None:
         salt = cache_salt()
@@ -135,6 +137,7 @@ def cell_fingerprint(spec: "CampaignSpec", delta: float, seed: int,
         "seed": int(seed),
         "duration": float(spec.duration),
         "warmup": float(DEFAULT_WARMUP),
+        "mode": getattr(spec, "mode", "event"),
         "payload_bytes": payload_bytes,
         "wire_bytes": wire_bytes,
         "salt": salt,

@@ -43,7 +43,7 @@ from repro.analysis.stats import ReplicationSummary, replicate
 from repro.analysis.timeseries import summarize
 from repro.errors import ConfigurationError
 from repro.experiments.cache import CampaignCache, resolve_cache
-from repro.experiments.config import ExperimentConfig
+from repro.experiments.config import EXECUTION_MODES, ExperimentConfig
 from repro.experiments.runner import (
     build_scenario,
     probe_scenario,
@@ -94,6 +94,11 @@ class CampaignSpec:
     output_dir:
         When given, every trace is saved as
         ``<output_dir>/trace_d<delta_ms>_s<seed>.csv``.
+    mode:
+        Execution mode applied to every cell: ``"event"`` (exact, the
+        golden reference) or ``"analytic"`` (fast-forwarded bottleneck;
+        see :mod:`repro.experiments.fastforward`).  Hashed into every
+        cell fingerprint, so the two modes never share cache entries.
     """
 
     deltas: Sequence[float]
@@ -102,6 +107,7 @@ class CampaignSpec:
     scenario: str = "inria-umd"
     scenario_kwargs: dict = field(default_factory=dict)
     output_dir: Optional[Union[str, Path]] = None
+    mode: str = "event"
 
     def __post_init__(self) -> None:
         if not self.deltas:
@@ -111,6 +117,10 @@ class CampaignSpec:
         if self.duration <= 0:
             raise ConfigurationError(
                 f"duration must be positive, got {self.duration}")
+        if self.mode not in EXECUTION_MODES:
+            raise ConfigurationError(
+                f"unknown execution mode {self.mode!r}; "
+                f"expected one of {EXECUTION_MODES}")
 
     def cells(self) -> list[tuple[float, int]]:
         """Every (delta, seed) pair, in grid order (δ-major, seed-minor)."""
@@ -261,7 +271,10 @@ def _run_cell(spec: CampaignSpec, delta: float, seed: int,
     """
     config = ExperimentConfig(delta=delta, duration=spec.duration,
                               seed=seed, scenario=spec.scenario,
-                              scenario_kwargs=dict(spec.scenario_kwargs))
+                              scenario_kwargs=dict(spec.scenario_kwargs),
+                              mode=getattr(spec, "mode", "event"))
+    if config.mode == "analytic":
+        return _run_cell_analytic(config, span_dir)
     if span_dir is None:
         trace, scenario, wall = run_experiment_timed(config)
         return CellResult(delta=delta, seed=seed, trace=trace,
@@ -286,6 +299,41 @@ def _run_cell(spec: CampaignSpec, delta: float, seed: int,
     return CellResult(delta=delta, seed=seed, trace=trace,
                       queue_stats=queue_stats, metrics=metrics,
                       wall_seconds=wall)
+
+
+def _run_cell_analytic(config: ExperimentConfig,
+                       span_dir: Optional[Path]) -> CellResult:
+    """The analytic-mode cell body: fast-forward instead of simulate.
+
+    Queue statistics come from the fast-forward engine itself (the event
+    network's queues never ran; on an event fallback the engine reports
+    the network queues as usual).  The ``sim`` span covers the engine
+    run, mirroring the event path's phase split.
+    """
+    # Imported here, like the runner does, so event-only campaigns never
+    # pay for (or depend on) the analytic engine.
+    from repro.experiments.fastforward import run_fastforward_experiment
+    if span_dir is None:
+        started = perf_counter()  # repro: noqa[FLOW001]
+        result = run_fastforward_experiment(config)
+        wall = perf_counter() - started  # repro: noqa[FLOW001]
+        return CellResult(delta=config.delta, seed=config.seed,
+                          trace=result.trace, queue_stats=result.queue_stats,
+                          metrics=_cell_metrics(result.trace),
+                          wall_seconds=wall)
+    key = cell_key(config.delta, config.seed)
+    tracer = SpanTracer()
+    with tracer.span(f"cell {key}", phase=PHASE_CELL, cell=key):
+        started = perf_counter()  # repro: noqa[FLOW001]
+        with tracer.span("sim", phase=PHASE_SIM):
+            result = run_fastforward_experiment(config)
+        wall = perf_counter() - started  # repro: noqa[FLOW001]
+        with tracer.span("analysis", phase=PHASE_ANALYSIS):
+            metrics = _cell_metrics(result.trace)
+    append_spans(span_dir, tracer.records)
+    return CellResult(delta=config.delta, seed=config.seed,
+                      trace=result.trace, queue_stats=result.queue_stats,
+                      metrics=metrics, wall_seconds=wall)
 
 
 def _span(tracer: Optional[SpanTracer], name: str, phase: str,

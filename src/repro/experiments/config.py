@@ -22,6 +22,10 @@ PAPER_DURATION = 600.0
 #: Warm-up before probing starts, letting cross traffic reach steady state.
 DEFAULT_WARMUP = 30.0
 
+#: Execution modes: exact event simulation (the golden reference) and the
+#: analytic fluid/aggregate fast-forward of the bottleneck queue.
+EXECUTION_MODES = ("event", "analytic")
+
 
 def full_experiments() -> bool:
     """True when paper-length runs were requested via the environment."""
@@ -55,6 +59,11 @@ class ExperimentConfig:
         ``"inria-umd"`` or ``"umd-pitt"``.
     scenario_kwargs:
         Extra arguments forwarded to the topology builder.
+    mode:
+        ``"event"`` runs the exact event-driven simulation (the golden
+        reference); ``"analytic"`` fast-forwards the bottleneck queue
+        analytically (see :mod:`repro.experiments.fastforward`), falling
+        back to event execution when the scenario is not aggregatable.
     """
 
     delta: float
@@ -63,6 +72,7 @@ class ExperimentConfig:
     warmup: float = DEFAULT_WARMUP
     scenario: str = "inria-umd"
     scenario_kwargs: dict = field(default_factory=dict)
+    mode: str = "event"
 
     def __post_init__(self) -> None:
         if self.delta <= 0:
@@ -74,6 +84,10 @@ class ExperimentConfig:
             raise ConfigurationError(f"warmup must be >= 0: {self.warmup}")
         if self.scenario not in ("inria-umd", "umd-pitt"):
             raise ConfigurationError(f"unknown scenario {self.scenario!r}")
+        if self.mode not in EXECUTION_MODES:
+            raise ConfigurationError(
+                f"unknown execution mode {self.mode!r}; "
+                f"expected one of {EXECUTION_MODES}")
 
     @property
     def count(self) -> int:

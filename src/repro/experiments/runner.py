@@ -63,7 +63,15 @@ def probe_scenario(scenario: Scenario, config: ExperimentConfig,
 
 
 def run_experiment(config: ExperimentConfig) -> ProbeTrace:
-    """Build the scenario, warm up the traffic, probe, return the trace."""
+    """Build the scenario, warm up the traffic, probe, return the trace.
+
+    ``config.mode == "analytic"`` dispatches to the fast-forward engine
+    (:mod:`repro.experiments.fastforward`), which itself falls back to
+    event execution when the scenario is not aggregatable.
+    """
+    if config.mode == "analytic":
+        from repro.experiments.fastforward import run_fastforward_experiment
+        return run_fastforward_experiment(config).trace
     scenario = build_scenario(config)
     scenario.start_traffic(at=0.0)
     return probe_scenario(scenario, config)
@@ -74,8 +82,14 @@ def run_experiment_with_scenario(config: ExperimentConfig,
     """Like :func:`run_experiment` but also return the live scenario.
 
     Useful when the caller needs queue statistics or fault counters after
-    the measurement (the ablation benchmarks do).
+    the measurement (the ablation benchmarks do).  In analytic mode the
+    returned scenario was never event-driven: its queues carry no
+    counters (the analytic result's own queue statistics replace them).
     """
+    if config.mode == "analytic":
+        from repro.experiments.fastforward import run_fastforward_experiment
+        result = run_fastforward_experiment(config)
+        return result.trace, result.scenario
     scenario = build_scenario(config)
     scenario.start_traffic(at=0.0)
     return probe_scenario(scenario, config), scenario
@@ -118,6 +132,10 @@ def run_observed_experiment(config: ExperimentConfig,
     lifecycle:
         Attach a :class:`~repro.obs.PacketLifecycleTracer` to the network.
     """
+    if config.mode == "analytic":
+        raise ConfigurationError(
+            "observability collectors record event-kernel activity; "
+            "analytic mode runs no events (use mode='event')")
     scenario = build_scenario(config)
     registry = MetricsRegistry()
     kernel = None

@@ -31,6 +31,12 @@ ACK_WIRE_BYTES = UDP_WIRE_OVERHEAD_BYTES
 #: Conventional initial retransmission timeout, seconds.
 INITIAL_RTO = 1.0
 
+#: Default initial slow-start threshold, segments.
+DEFAULT_SSTHRESH = 32.0
+
+#: Default congestion-window cap (receiver window), segments.
+DEFAULT_MAX_WINDOW = 64.0
+
 
 class TransferStats:
     """Counters exposed by a :class:`MiniTcpSender`."""
@@ -69,6 +75,7 @@ class MiniTcpReceiver:
         self.next_expected = 0
         self.segments_received = 0
         self.out_of_order = 0
+        self.duplicates = 0
         self._buffered: set[int] = set()
         host.bind_udp(port, self._on_segment)
 
@@ -83,6 +90,11 @@ class MiniTcpReceiver:
         elif seq > self.next_expected:
             self.out_of_order += 1
             self._buffered.add(seq)
+        else:
+            # A retransmission of something already delivered in order:
+            # without this counter it is indistinguishable from a first
+            # delivery in ``segments_received``.
+            self.duplicates += 1
         # Cumulative ACK for everything in order so far (dupACK when the
         # segment was out of order or a duplicate).
         self.host.send_udp(packet.src, src_port=self.port,
@@ -118,8 +130,8 @@ class MiniTcpSender:
 
     def __init__(self, host: Host, destination: str, port: int,
                  total_segments: int, segment_bytes: int = 512,
-                 initial_ssthresh: float = 32.0,
-                 max_window: float = 64.0) -> None:
+                 initial_ssthresh: float = DEFAULT_SSTHRESH,
+                 max_window: float = DEFAULT_MAX_WINDOW) -> None:
         if total_segments < 1:
             raise ConfigurationError(
                 f"need at least one segment, got {total_segments}")
@@ -185,6 +197,11 @@ class MiniTcpSender:
             # Karn's algorithm: a segment sent more than once yields no
             # RTT sample (the ACK's trigger is ambiguous) — without this
             # the smoothed RTT absorbs timeout gaps and the RTO diverges.
+            # Every re-send counts: recovery rewinds ``_next_to_send``, so
+            # segments re-sent afterwards by ``_fill_window`` come through
+            # here too, and counting only the first would let them inflate
+            # ``goodput_segments``.
+            self.stats.retransmissions += 1
             self._resent.add(seq)
             if self._timed_seq == seq:
                 self._timed_seq = None
@@ -209,7 +226,21 @@ class MiniTcpSender:
             newly = acked - self._highest_acked
             if self._timed_seq is not None and acked > self._timed_seq:
                 self._take_rtt_sample()
+            # Segments below the cumulative ACK are delivered and can
+            # never be retransmitted again; dropping their bookkeeping
+            # keeps memory bounded on long transfers.
+            for seq in range(self._highest_acked, acked):
+                self._send_times.pop(seq, None)
+                self._resent.discard(seq)
             self._highest_acked = acked
+            # After a recovery rewound ``_next_to_send``, a cumulative
+            # ACK can jump past it (the retransmitted hole released a
+            # buffered run at the receiver).  Re-sending those delivered
+            # segments would re-insert pruned ``_send_times`` entries
+            # below the ACK point — where no later prune reaches them —
+            # and misclassify the sends as first transmissions.
+            if self._next_to_send < acked:
+                self._next_to_send = acked
             self._duplicate_acks = 0
             # RFC 6298: new data acknowledged -> leave exponential
             # backoff, restarting the RTO from the smoothed estimators.
@@ -260,10 +291,11 @@ class MiniTcpSender:
 
     def _enter_recovery(self) -> None:
         # Tahoe: halve ssthresh, collapse window, resend from the hole.
+        # ``_transmit`` counts the retransmission (as it does for every
+        # segment re-sent by ``_fill_window`` after the rewind).
         self.ssthresh = max(2.0, min(self.cwnd, self.max_window) / 2.0)
         self.cwnd = 1.0
         self._duplicate_acks = 0
-        self.stats.retransmissions += 1
         self._next_to_send = self._highest_acked + 1
         self._transmit(self._highest_acked)
         self._arm_timer()
@@ -284,11 +316,16 @@ class MiniTcpSender:
 
 def start_transfer(sender_host: Host, receiver_host: Host, port: int,
                    total_segments: int, segment_bytes: int = 512,
-                   at: float = 0.0) -> tuple[MiniTcpSender, MiniTcpReceiver]:
+                   at: float = 0.0,
+                   initial_ssthresh: float = DEFAULT_SSTHRESH,
+                   max_window: float = DEFAULT_MAX_WINDOW,
+                   ) -> tuple[MiniTcpSender, MiniTcpReceiver]:
     """Wire a sender/receiver pair and start the transfer at time ``at``."""
     receiver = MiniTcpReceiver(receiver_host, port=port)
     sender = MiniTcpSender(sender_host, receiver_host.name, port=port,
                            total_segments=total_segments,
-                           segment_bytes=segment_bytes)
+                           segment_bytes=segment_bytes,
+                           initial_ssthresh=initial_ssthresh,
+                           max_window=max_window)
     sender.start(at=at)
     return sender, receiver

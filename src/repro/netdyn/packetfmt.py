@@ -102,6 +102,23 @@ def decode_probe(payload: bytes) -> ProbeHeader:
                        destination_time=stamps[2])
 
 
+def quantize_stamp(value: float) -> float:
+    """The value a timestamp reads back as after encode + decode.
+
+    Timestamps ride the wire as 48-bit microsecond counts, so a written
+    stamp loses sub-microsecond precision.  The analytic execution mode
+    (:mod:`repro.experiments.fastforward`) never builds real packets but
+    must reproduce event-mode RTTs bit-for-bit, so it quantizes its clock
+    readings through this helper.
+    """
+    if value < 0:
+        raise PacketFormatError(f"timestamp must be >= 0, got {value}")
+    micros = int(round(value / _MICROSECOND))
+    if micros >= _UNSET:
+        raise PacketFormatError(f"timestamp {value} s overflows 48 bits")
+    return micros * _MICROSECOND
+
+
 def stamp_echo_time(payload: bytes, echo_time: float) -> bytes:
     """Return a copy of ``payload`` with the echo timestamp written."""
     header = decode_probe(payload)

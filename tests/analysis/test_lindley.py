@@ -8,6 +8,7 @@ from hypothesis import strategies as st
 from repro.analysis.lindley import (
     estimate_batch_bits,
     lindley_waits,
+    lindley_waits_loop,
     positive_part,
     probe_waits_with_batches,
 )
@@ -62,6 +63,19 @@ def test_lindley_invariants(services, gaps):
     for i in range(n - 1):
         expected = max(0.0, waits[i] + y[i] - x[i])
         assert waits[i + 1] == pytest.approx(expected)
+
+
+@settings(max_examples=80, deadline=None)
+@given(services=st.lists(st.floats(0.0, 10.0), min_size=0, max_size=80),
+       gaps=st.lists(st.floats(0.0, 10.0), min_size=0, max_size=80),
+       initial=st.floats(0.0, 5.0))
+def test_vectorized_matches_reference_loop(services, gaps, initial):
+    """The closed-form cumsum evaluation equals the literal recurrence."""
+    n = min(len(services), len(gaps))
+    y, x = services[:n], gaps[:n]
+    fast = lindley_waits(y, x, initial_wait=initial)
+    slow = lindley_waits_loop(y, x, initial_wait=initial)
+    np.testing.assert_allclose(fast, slow, rtol=0.0, atol=1e-9)
 
 
 @settings(max_examples=80, deadline=None)

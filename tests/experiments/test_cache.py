@@ -43,6 +43,7 @@ class TestFingerprint:
         dict(spec=dict(scenario="umd-pitt")),
         dict(spec=dict(scenario_kwargs={"utilization_fwd": 0.4,
                                         "utilization_rev": 0.3})),
+        dict(spec=dict(mode="analytic")),
         dict(salt="other-salt"),
     ])
     def test_sensitive_to_every_causal_input(self, variation):

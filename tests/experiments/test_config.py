@@ -38,6 +38,17 @@ class TestExperimentConfig:
     def test_scenario_kwargs_default_empty(self):
         assert ExperimentConfig(delta=0.05).scenario_kwargs == {}
 
+    def test_mode_defaults_to_event(self):
+        assert ExperimentConfig(delta=0.05).mode == "event"
+
+    def test_mode_accepts_analytic(self):
+        assert ExperimentConfig(delta=0.05, mode="analytic").mode == \
+            "analytic"
+
+    def test_mode_is_validated(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(delta=0.05, mode="quantum")
+
 
 class TestEnvironmentSwitch:
     def test_default_duration_scaled(self, monkeypatch):
