@@ -1,11 +1,18 @@
 """Campaign parallelization benchmarks.
 
-The governing requirement of the parallel executor: fanning the (δ × seed)
+The governing requirement of the parallel executors: fanning the (δ × seed)
 grid over worker processes changes *nothing* about the results (that is
 tier-1 tested in ``tests/experiments/test_campaign.py``) and makes the
-sweep substantially faster on multi-core hardware.  This module records
-the scaling numbers in ``BENCH_campaign.json`` and asserts the >= 1.5×
-4-worker speedup wherever the hardware can express it.
+sweep substantially faster.  Two separate claims are recorded in
+``BENCH_campaign.json`` and floor-tested here:
+
+* the warm lease pipeline eliminates dispatch overhead — cold worker
+  imports, per-cell pickle round trips, the end-of-grid barrier — so it
+  beats the legacy cold-spawn pool by >= 1.4x on the overhead-dominated
+  analytic grid *on any CPU count* (the win is per-worker/per-cell, not
+  per-core);
+* independent cells scale across cores, >= 1.5× at 4 workers wherever
+  the hardware can express it.
 """
 
 from __future__ import annotations
@@ -18,6 +25,11 @@ from campaign_scaling import available_cpus, run_suite, time_campaign
 from repro.obs.bench import write_report
 
 SPEEDUP_FLOOR = 1.5
+
+#: Required warm-pipeline advantage over the cold-spawn baseline on the
+#: overhead-dominated dispatch grid (the ISSUE's >= 1.4x acceptance
+#: floor; measured advantage is far larger).
+DISPATCH_SPEEDUP_FLOOR = 1.4
 
 
 @pytest.fixture(scope="module")
@@ -42,6 +54,29 @@ def test_speedup_at_4_workers(scaling_document):
         pytest.skip(f"speedup floor needs >= 4 CPUs, have "
                     f"{scaling_document['cpus']}")
     assert scaling_document["speedup_vs_serial"]["4"] > SPEEDUP_FLOOR
+
+
+def test_warm_pipeline_beats_cold_spawn(scaling_document):
+    """The tentpole claim: dispatch overhead is engineered away.
+
+    Runs (and must pass) on a 1-CPU host: both executors get the same
+    worker count, so the ratio isolates per-worker cold-start imports and
+    per-cell dispatch cost, not core-count parallelism.
+    """
+    dispatch = scaling_document["dispatch"]
+    assert dispatch["warm_vs_spawn_speedup"] >= DISPATCH_SPEEDUP_FLOOR, \
+        (f"warm {dispatch['warm_seconds']:.2f}s vs spawn "
+         f"{dispatch['spawn_seconds']:.2f}s")
+
+
+def test_dispatch_accounting_consistent(scaling_document):
+    """Every lease is accounted to exactly one transport."""
+    dispatch = scaling_document["dispatch"]
+    assert dispatch["leases"] > 0
+    assert dispatch["shm_leases"] + dispatch["inline_leases"] \
+        == dispatch["leases"]
+    if dispatch["shm_leases"]:
+        assert dispatch["shm_bytes"] > 0
 
 
 def test_parallel_not_pathologically_slower():

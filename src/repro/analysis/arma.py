@@ -14,6 +14,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.analysis.timeseries import autocorrelation_sums
 from repro.errors import AnalysisError, FitError, InsufficientDataError
 from repro.netdyn.trace import ProbeTrace
 
@@ -58,12 +59,10 @@ class ARModel:
 
 
 def _autocovariances(series: np.ndarray, max_lag: int) -> np.ndarray:
+    # Vectorized lagged-product sums shared with the sample ACF; the
+    # Yule–Walker estimator divides by n (not n - lag) as usual.
     centered = series - series.mean()
-    n = len(series)
-    gamma = np.empty(max_lag + 1)
-    for lag in range(max_lag + 1):
-        gamma[lag] = np.dot(centered[:n - lag], centered[lag:]) / n
-    return gamma
+    return autocorrelation_sums(centered, max_lag) / len(series)
 
 
 def fit_ar(series: np.ndarray, order: int) -> ARModel:

@@ -65,6 +65,38 @@ def _contiguous_valid(trace: ProbeTrace) -> np.ndarray:
     return r
 
 
+#: Series length above which autocorrelation sums go through the FFT.
+#: ``np.correlate`` is O(n·max_lag) with a tiny constant — unbeatable for
+#: the short traces tests and examples use — while the zero-padded FFT is
+#: O(n log n) regardless of lag count and wins on long campaigns.
+_FFT_MIN_SIZE = 4096
+
+
+def autocorrelation_sums(centered: np.ndarray, max_lag: int) -> np.ndarray:
+    """Raw lagged products ``Σ_t x_t x_{t+lag}`` for lags ``0 .. max_lag``.
+
+    The shared vectorized core of the sample ACF (here) and the
+    Yule–Walker autocovariances (:mod:`repro.analysis.arma`): callers
+    normalize by their own denominator.  ``centered`` must already have
+    its mean removed.  Small inputs use ``np.correlate``; long series
+    switch to a zero-padded real FFT of ``|S|^2`` (circular correlation
+    made linear by padding to at least ``2n``), identical up to float
+    rounding (~1e-12 relative).
+    """
+    centered = np.ascontiguousarray(centered, dtype=float)
+    n = len(centered)
+    if not 0 <= max_lag < n:
+        raise AnalysisError(
+            f"need 0 <= max_lag < {n}, got {max_lag}")
+    if n < _FFT_MIN_SIZE:
+        # Full cross-correlation; lag-k sums sit at offsets n-1 .. n-1+k.
+        return np.correlate(centered, centered,
+                            mode="full")[n - 1:n + max_lag]
+    size = 1 << int(np.ceil(np.log2(2 * n)))
+    spectrum = np.fft.rfft(centered, n=size)
+    return np.fft.irfft(np.abs(spectrum) ** 2, n=size)[:max_lag + 1]
+
+
 def autocorrelation(trace: ProbeTrace, max_lag: int) -> np.ndarray:
     """Sample ACF of the rtt series at lags ``0 .. max_lag``."""
     if max_lag < 1:
@@ -80,11 +112,7 @@ def autocorrelation(trace: ProbeTrace, max_lag: int) -> np.ndarray:
     scale = max(1.0, abs(float(series.mean())))
     if denominator <= len(series) * (1e-9 * scale) ** 2:
         raise InsufficientDataError("constant series has undefined ACF")
-    acf = np.empty(max_lag + 1)
-    for lag in range(max_lag + 1):
-        acf[lag] = np.dot(centered[:len(centered) - lag],
-                          centered[lag:]) / denominator
-    return acf
+    return autocorrelation_sums(centered, max_lag) / denominator
 
 
 def moving_average(trace: ProbeTrace, window: int) -> np.ndarray:

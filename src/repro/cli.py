@@ -184,6 +184,19 @@ def main_campaign(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--workers", type=int, default=1,
                         help="worker processes for the grid (default 1 = "
                              "serial)")
+    parser.add_argument("--pool", choices=("warm", "spawn"), default="warm",
+                        help="parallel executor when --workers > 1: 'warm' "
+                             "(default) keeps salt-verified workers alive "
+                             "and leases them batches of cells with "
+                             "shared-memory trace hand-off; 'spawn' uses "
+                             "cold per-cell spawn workers (maximal "
+                             "isolation, highest dispatch overhead).  "
+                             "Artifacts are byte-identical either way")
+    parser.add_argument("--batch-size", type=int, default=None,
+                        metavar="CELLS",
+                        help="cells per lease for the warm pool (default: "
+                             "auto-tuned from grid size, worker count, and "
+                             "estimated cell cost)")
     parser.add_argument("--output-dir", metavar="DIR",
                         help="write per-cell trace CSVs, manifest.json, "
                              "and timing.json into DIR")
@@ -217,6 +230,8 @@ def main_campaign(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
     if args.workers < 1:
         parser.error(f"--workers must be >= 1, got {args.workers}")
+    if args.batch_size is not None and args.batch_size < 1:
+        parser.error(f"--batch-size must be >= 1, got {args.batch_size}")
     if args.spans is True and not args.output_dir:
         parser.error("--spans without a directory requires --output-dir")
     cache_dir = None if args.no_cache else (
@@ -234,7 +249,8 @@ def main_campaign(argv: Optional[Sequence[str]] = None) -> int:
                         mode=args.mode)
     progress = {None: "auto", True: "on", False: "off"}[args.progress]
     result = run_campaign(spec, workers=args.workers, cache=cache,
-                          spans=args.spans, progress=progress)
+                          spans=args.spans, progress=progress,
+                          pool=args.pool, batch_size=args.batch_size)
     cells = len(spec.deltas) * len(spec.seeds)
     print(f"campaign: {len(spec.deltas)} deltas x {len(spec.seeds)} seeds "
           f"= {cells} cells ({args.workers} worker"

@@ -69,11 +69,14 @@ class NoPrintRule(Rule):
 #: around the simulation; only the simulation itself is off-limits.
 SIMULATOR_ROOTS: Tuple[str, ...] = ("repro.sim.kernel.Simulator.run",)
 
-#: Telemetry module subtrees banned on the simulator call graph.
+#: Module subtrees banned on the simulator call graph: telemetry, plus
+#: orchestration plumbing (the warm-pool lease/shared-memory transport) —
+#: the kernel computes results, it never dispatches or ships them.
 TELEMETRY_MODULES: Tuple[str, ...] = (
     "repro.obs.spans",
     "repro.obs.progress",
     "repro.obs.bench",
+    "repro.experiments.pool",
 )
 
 

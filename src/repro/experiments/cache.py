@@ -44,7 +44,7 @@ import json
 import os
 import tempfile
 from pathlib import Path
-from typing import TYPE_CHECKING, Any, Dict, Optional, Union
+from typing import TYPE_CHECKING, Any, Dict, Optional, Sequence, Union
 
 import numpy as np
 
@@ -216,6 +216,24 @@ class CampaignCache:
         self.hits += 1
         self.bytes_read += size
         return result
+
+    def load_many(self, spec: "CampaignSpec",
+                  cells: "Sequence[tuple[float, int]]",
+                  ) -> "Dict[tuple[float, int], CellResult]":
+        """One batched lookup pass over a campaign grid before dispatch.
+
+        Returns the hits only, keyed by ``(delta, seed)``; every absent
+        key is a miss to simulate.  Semantically identical to calling
+        :meth:`load` per cell — one call site lets the campaign consult
+        the cache in a single pass (one span, one accounting window)
+        before planning lease batches over the misses.
+        """
+        hits: Dict[tuple, "CellResult"] = {}
+        for delta, seed in cells:
+            result = self.load(spec, delta, seed)
+            if result is not None:
+                hits[(delta, seed)] = result
+        return hits
 
     def store(self, spec: "CampaignSpec", delta: float, seed: int,
               result: "CellResult") -> Path:

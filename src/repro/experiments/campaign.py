@@ -9,13 +9,27 @@ drives this module from the command line).
 
 Cells are independent by construction — each owns its own
 :class:`~repro.sim.kernel.Simulator` seeded from the cell's seed — so the
-grid is embarrassingly parallel.  :func:`run_campaign` fans cells out over
-a ``ProcessPoolExecutor`` when ``workers > 1``; every cell runs through the
-same pure worker (:func:`_run_cell`) either way, and results are merged in
-(δ, seed) grid order regardless of completion order, so serial and
-parallel execution produce byte-identical tables, trace CSVs, and
-``manifest.json``.  Only the ``timing.json`` sidecar (worker count,
-per-cell wall seconds) reflects how the run was executed.
+grid is embarrassingly parallel.  :func:`run_campaign` executes it one of
+three ways, all running the same pure worker (:func:`_run_cell`) and all
+producing byte-identical tables, trace CSVs, and ``manifest.json``:
+
+* ``workers=1`` — serial, in this process (the default).
+* ``pool="warm"`` — a persistent :class:`~repro.experiments.pool.
+  WarmWorkerPool`: workers import the repro closure once (verified by a
+  cache-salt handshake), serve deterministic *lease batches* of cells
+  (:func:`~repro.experiments.pool.plan_leases`), and hand trace columns
+  back through shared memory; the parent folds results into artifacts
+  incrementally with a streaming grid-order merge (heap keyed on grid
+  index) while later leases are still simulating.
+* ``pool="spawn"`` — the legacy per-cell ``ProcessPoolExecutor`` over
+  cold ``spawn``-start workers: maximal isolation, one submit/pickle
+  round trip per cell, a full barrier before the merge.  Kept as the
+  portability/isolation mode and as the dispatch-overhead baseline the
+  warm pool is benchmarked against.
+
+Execution mechanics — worker counts, lease/batch shapes, shared-memory
+byte volumes, per-cell wall seconds — land exclusively in the
+``timing.json`` sidecar (its ``dispatch`` block), never in the manifest.
 
 Cell purity also makes cells memoizable: pass ``cache=`` (a directory or
 :class:`~repro.experiments.cache.CampaignCache`) and :func:`run_campaign`
@@ -30,13 +44,16 @@ behaviour (hits, misses, byte volumes) is execution mechanics and lands in
 from __future__ import annotations
 
 import dataclasses
+import heapq
+import multiprocessing
 import re
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from contextlib import nullcontext
 from dataclasses import dataclass, field
 from pathlib import Path
 from time import perf_counter
-from typing import Any, ContextManager, Dict, Optional, Sequence, Union
+from typing import Any, ContextManager, Dict, List, Optional, Sequence, \
+    Tuple, Union
 
 from repro.analysis.loss import loss_stats
 from repro.analysis.stats import ReplicationSummary, replicate
@@ -44,8 +61,10 @@ from repro.analysis.timeseries import summarize
 from repro.errors import ConfigurationError
 from repro.experiments.cache import CampaignCache, resolve_cache
 from repro.experiments.config import EXECUTION_MODES, ExperimentConfig
+from repro.experiments.pool import WarmWorkerPool, plan_leases
 from repro.experiments.runner import (
     build_scenario,
+    estimate_cell_seconds,
     probe_scenario,
     run_experiment_timed,
 )
@@ -61,6 +80,7 @@ from repro.obs.spans import (
     PHASE_CACHE,
     PHASE_CAMPAIGN,
     PHASE_CELL,
+    PHASE_LEASE,
     PHASE_MERGE,
     PHASE_SETUP,
     PHASE_SIM,
@@ -171,6 +191,11 @@ class CampaignResult:
     #: hits/misses/bytes plus a per-cell hit-or-miss map.  Execution
     #: mechanics only — lands in timing.json, never the manifest.
     cache_stats: Optional[Dict[str, Any]] = None
+    #: dispatch accounting: which executor ran the grid (serial / warm
+    #: pool / spawn pool), lease count and batch size, shared-memory
+    #: transport volumes.  Execution mechanics only — lands in
+    #: timing.json's ``dispatch`` block, never the manifest.
+    dispatch_stats: Optional[Dict[str, Any]] = None
 
     def table(self) -> str:
         """Per-δ metric table with cross-seed means."""
@@ -344,10 +369,82 @@ def _span(tracer: Optional[SpanTracer], name: str, phase: str,
     return tracer.span(name, phase=phase, cell=cell)
 
 
+class _GridMerge:
+    """Streaming grid-order fold of CellResults into campaign artifacts.
+
+    Cells arrive in completion order (hits first, then whatever the
+    executor yields); a heap keyed on grid index holds the out-of-order
+    tail while every cell at the front of the grid is folded immediately —
+    trace CSV written, fresh result stored to the cache, accumulators
+    updated.  Folding is therefore strictly in (δ, seed) grid order no
+    matter which executor ran the grid or how its completions interleaved,
+    which is what keeps serial, warm-pool, and spawn-pool artifacts
+    byte-identical — and it overlaps parent-side aggregation and cache
+    writes with worker simulation instead of barriering on the full grid.
+    """
+
+    def __init__(self, spec: CampaignSpec,
+                 grid: Sequence[Tuple[float, int]],
+                 output_dir: Optional[Path],
+                 cache: Optional[CampaignCache]) -> None:
+        self._spec = spec
+        self._order = {cell: index for index, cell in enumerate(grid)}
+        self._output_dir = output_dir
+        self._cache = cache
+        self._heap: List[Tuple[int, bool, CellResult]] = []
+        self._next = 0
+        #: Grid-ordered accumulators (complete once every cell folded).
+        self.results: List[CellResult] = []
+        self.traces: Dict[Tuple[float, int], ProbeTrace] = {}
+        self.queue_stats: Dict[Tuple[float, int],
+                               Dict[str, Dict[str, float]]] = {}
+        self.cell_metrics: Dict[str, Dict[str, float]] = {}
+        self.cell_wall: Dict[str, float] = {}
+        self.written: List[str] = []
+
+    def add(self, cell: CellResult, cached: bool = False) -> None:
+        """Accept one completed cell; fold every in-order prefix cell."""
+        index = self._order[(cell.delta, cell.seed)]
+        heapq.heappush(self._heap, (index, cached, cell))
+        while self._heap and self._heap[0][0] == self._next:
+            _, was_cached, ready = heapq.heappop(self._heap)
+            self._fold(ready, was_cached)
+            self._next += 1
+
+    def _fold(self, cell: CellResult, cached: bool) -> None:
+        key = cell_key(cell.delta, cell.seed)
+        self.results.append(cell)
+        self.traces[(cell.delta, cell.seed)] = cell.trace
+        self.queue_stats[(cell.delta, cell.seed)] = cell.queue_stats
+        self.cell_metrics[key] = cell.metrics
+        self.cell_wall[key] = cell.wall_seconds
+        if not cached and self._cache is not None:
+            self._cache.store(self._spec, cell.delta, cell.seed, cell)
+        if self._output_dir:
+            name = f"trace_{key}.csv"
+            cell.trace.save_csv(self._output_dir / name)
+            self.written.append(name)
+
+    def require_complete(self) -> None:
+        if self._next != len(self._order):
+            raise ConfigurationError(
+                f"campaign merge incomplete: folded {self._next} of "
+                f"{len(self._order)} cells")
+
+
+def _spawn_context():
+    """The ``spawn`` multiprocessing context (cold, stateless workers)."""
+    if "spawn" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("spawn")
+    return multiprocessing.get_context()  # pragma: no cover - exotic
+
+
 def run_campaign(spec: CampaignSpec, workers: int = 1,
                  cache: Union[CampaignCache, str, Path, None] = None,
                  spans: Union[bool, str, Path, None] = None,
-                 progress: ProgressLike = None) -> CampaignResult:
+                 progress: ProgressLike = None,
+                 pool: Union[str, WarmWorkerPool] = "warm",
+                 batch_size: Optional[int] = None) -> CampaignResult:
     """Execute every (delta, seed) cell of the campaign.
 
     Parameters
@@ -356,17 +453,33 @@ def run_campaign(spec: CampaignSpec, workers: int = 1,
         The campaign grid.
     workers:
         Worker processes to fan cells out over.  ``1`` (the default) runs
-        every cell serially in this process; ``N > 1`` uses a
-        ``ProcessPoolExecutor``.  Both paths run the same per-cell worker
-        and merge results in grid order, so the resulting tables, CSVs,
-        and ``manifest.json`` are byte-identical either way.
+        every cell serially in this process; ``N > 1`` dispatches through
+        the executor selected by ``pool``.  Every path runs the same
+        per-cell worker and folds results in grid order, so the resulting
+        tables, CSVs, and ``manifest.json`` are byte-identical whichever
+        executor ran them.
+    pool:
+        Parallel executor (ignored when the grid runs serially):
+        ``"warm"`` (the default) uses a persistent
+        :class:`~repro.experiments.pool.WarmWorkerPool` — salt-verified
+        warm workers serving batched cell leases with shared-memory trace
+        hand-off; ``"spawn"`` uses the legacy per-cell
+        ``ProcessPoolExecutor`` over cold ``spawn``-start workers (maximal
+        isolation, highest dispatch overhead).  An existing
+        :class:`~repro.experiments.pool.WarmWorkerPool` instance is used
+        as-is and left running, so one pool can serve many campaigns —
+        its worker count overrides ``workers``.
+    batch_size:
+        Cells per lease for the warm pool (default: auto-tuned from the
+        grid size, worker count, and the per-cell duration estimate; see
+        :func:`~repro.experiments.pool.plan_leases`).
     cache:
         Optional cell cache — a directory path or a
-        :class:`~repro.experiments.cache.CampaignCache`.  Cells whose
-        full causal input
-        is already cached are loaded instead of simulated; fresh results
-        are stored back.  A warm re-run writes byte-identical artifacts to
-        a cold one; only ``timing.json`` (and the result's
+        :class:`~repro.experiments.cache.CampaignCache`.  The cache is
+        consulted in one batched pass before dispatch; only the misses
+        are planned into leases and simulated, and fresh results are
+        stored back as they fold.  A warm re-run writes byte-identical
+        artifacts to a cold one; only ``timing.json`` (and the result's
         ``cache_stats``) records what was hit.
     spans:
         Span telemetry: ``True`` writes span files under
@@ -386,6 +499,15 @@ def run_campaign(spec: CampaignSpec, workers: int = 1,
     """
     if workers < 1:
         raise ConfigurationError(f"workers must be >= 1, got {workers}")
+    shared_pool: Optional[WarmWorkerPool] = None
+    if isinstance(pool, WarmWorkerPool):
+        shared_pool = pool
+        workers = pool.workers
+        pool = "warm"
+    elif pool not in ("warm", "spawn"):
+        raise ConfigurationError(
+            f"pool must be 'warm', 'spawn', or a WarmWorkerPool, "
+            f"got {pool!r}")
     cache = resolve_cache(cache)
     output_dir = Path(spec.output_dir) if spec.output_dir else None
     if output_dir:
@@ -407,61 +529,106 @@ def run_campaign(spec: CampaignSpec, workers: int = 1,
 
     with _span(tracer, "campaign", PHASE_CAMPAIGN):
         hits: dict[tuple[float, int], CellResult] = {}
-        pending = grid
+        pending = list(grid)
         bytes_read_before = bytes_written_before = 0
         if cache is not None:
             bytes_read_before = cache.bytes_read
             bytes_written_before = cache.bytes_written
-            pending = []
-            for delta, seed in grid:
-                key = cell_key(delta, seed)
-                with _span(tracer, f"cache {key}", PHASE_CACHE, cell=key):
-                    cell = cache.load(spec, delta, seed)
-                if cell is not None:
-                    hits[(delta, seed)] = cell
-                    if reporter is not None:
-                        reporter.cell_cached(key)
-                else:
-                    pending.append((delta, seed))
+            # One batched pass over the whole grid before any dispatch:
+            # only the misses are planned into leases / submitted.
+            with _span(tracer, "cache lookup", PHASE_CACHE):
+                hits = cache.load_many(spec, grid)
+            pending = [cell for cell in grid if cell not in hits]
 
+        merge = _GridMerge(spec, grid, output_dir=output_dir, cache=cache)
+        for delta, seed in grid:
+            hit = hits.get((delta, seed))
+            if hit is not None:
+                if reporter is not None:
+                    reporter.cell_cached(cell_key(delta, seed),
+                                         saved_seconds=hit.wall_seconds)
+                merge.add(hit, cached=True)
+
+        dispatch_stats: Dict[str, Any] = {
+            "pool": "serial", "workers": workers, "leases": 0,
+            "batch_size": 0, "shm_leases": 0, "inline_leases": 0,
+            "shm_bytes": 0,
+        }
         if not pending:
-            fresh = []
-        elif workers == 1:
-            fresh = []
+            pass
+        elif workers == 1 and shared_pool is None:
             for delta, seed in pending:
                 cell = _run_cell(spec, delta, seed, span_dir=span_dir)
-                fresh.append(cell)
                 if reporter is not None:
                     reporter.cell_done(cell_key(delta, seed),
                                        cell.wall_seconds)
-        else:
-            with ProcessPoolExecutor(max_workers=workers) as pool:
+                merge.add(cell)
+        elif pool == "spawn":
+            # Legacy path: cold stateless workers, one submit per cell,
+            # barrier before folding.
+            dispatch_stats.update(pool="spawn", leases=len(pending),
+                                  batch_size=1)
+            with ProcessPoolExecutor(max_workers=workers,
+                                     mp_context=_spawn_context()) as exe:
                 futures = []
                 key_of = {}
                 for delta, seed in pending:
-                    future = pool.submit(_run_cell, spec, delta, seed,
-                                         span_dir=span_dir)
+                    future = exe.submit(_run_cell, spec, delta, seed,
+                                        span_dir=span_dir)
                     futures.append(future)
                     key_of[future] = cell_key(delta, seed)
                 if reporter is not None:
-                    # Report cells as they finish; the result merge below
-                    # still walks futures in submission (= grid) order.
+                    # Report cells as they finish; the fold below still
+                    # walks futures in submission (= grid) order.
                     for future in as_completed(futures):
                         reporter.cell_done(key_of[future],
                                            future.result().wall_seconds)
-                # Collect in submission (= grid) order; completion order
-                # is irrelevant to the merged result.
-                fresh = [future.result() for future in futures]
+                for future in futures:
+                    merge.add(future.result())
+        else:
+            warm_pool = shared_pool if shared_pool is not None \
+                else WarmWorkerPool(workers)
+            probe_config = ExperimentConfig(
+                delta=spec.deltas[0], duration=spec.duration,
+                seed=spec.seeds[0], scenario=spec.scenario,
+                scenario_kwargs=dict(spec.scenario_kwargs),
+                mode=spec.mode)
+            leases = plan_leases(
+                pending, warm_pool.workers, batch_size=batch_size,
+                cell_seconds=estimate_cell_seconds(probe_config))
+            shm_bytes_before = warm_pool.shm_bytes
+            shm_leases_before = warm_pool.shm_leases
+            inline_before = warm_pool.inline_leases
+            try:
+                for index, cells, _info in warm_pool.run_leases(
+                        spec, leases, span_dir=span_dir):
+                    with _span(tracer, f"lease {index} collect",
+                               PHASE_LEASE):
+                        for cell in cells:
+                            if reporter is not None:
+                                reporter.cell_done(
+                                    cell_key(cell.delta, cell.seed),
+                                    cell.wall_seconds)
+                            merge.add(cell)
+            except BaseException:
+                # Worker state is unknown after an error; never leave a
+                # half-broken pool behind (shared or not).
+                warm_pool.close()
+                raise
+            finally:
+                if shared_pool is None:
+                    warm_pool.close()
+            dispatch_stats.update(
+                pool="warm", workers=warm_pool.workers,
+                leases=len(leases),
+                batch_size=len(leases[0]) if leases else 0,
+                shm_leases=warm_pool.shm_leases - shm_leases_before,
+                inline_leases=warm_pool.inline_leases - inline_before,
+                shm_bytes=warm_pool.shm_bytes - shm_bytes_before,
+                salt=warm_pool.salt)
 
-        if cache is not None:
-            for cell in fresh:
-                cache.store(spec, cell.delta, cell.seed, cell)
-
-        # Merge hits and fresh results back into grid order: downstream
-        # artifacts must not depend on which cells came from where.
-        by_cell = dict(hits)
-        by_cell.update({(cell.delta, cell.seed): cell for cell in fresh})
-        results = [by_cell[(delta, seed)] for delta, seed in grid]
+        merge.require_complete()
+        results = merge.results
 
         cache_stats: Optional[Dict[str, Any]] = None
         if cache is not None:
@@ -480,23 +647,10 @@ def run_campaign(spec: CampaignSpec, workers: int = 1,
             }
 
         with _span(tracer, "merge", PHASE_MERGE):
-            traces: dict[tuple[float, int], ProbeTrace] = {}
-            queue_stats: dict[tuple[float, int],
-                              dict[str, dict[str, float]]] = {}
-            cell_metrics: dict[str, dict[str, float]] = {}
-            cell_wall: dict[str, float] = {}
-            written: list[str] = []
-            for cell in results:
-                key = cell_key(cell.delta, cell.seed)
-                traces[(cell.delta, cell.seed)] = cell.trace
-                queue_stats[(cell.delta, cell.seed)] = cell.queue_stats
-                cell_metrics[key] = cell.metrics
-                cell_wall[key] = cell.wall_seconds
-                if output_dir:
-                    name = f"trace_{key}.csv"
-                    cell.trace.save_csv(output_dir / name)
-                    written.append(name)
-
+            # Per-cell folding (CSV writes, cache stores) already
+            # streamed in grid order as leases completed; what is left is
+            # the cross-seed aggregation and the manifest.
+            cell_wall = merge.cell_wall
             metrics_by_cell = {(cell.delta, cell.seed): cell.metrics
                                for cell in results}
             summaries = {
@@ -505,12 +659,13 @@ def run_campaign(spec: CampaignSpec, workers: int = 1,
                 for delta in spec.deltas
             }
 
-            result = CampaignResult(spec=spec, traces=traces,
+            result = CampaignResult(spec=spec, traces=merge.traces,
                                     summaries=summaries,
-                                    queue_stats=queue_stats,
+                                    queue_stats=merge.queue_stats,
                                     cell_wall_seconds=cell_wall,
                                     workers=workers,
-                                    cache_stats=cache_stats)
+                                    cache_stats=cache_stats,
+                                    dispatch_stats=dispatch_stats)
             if output_dir:
                 # The manifest records exactly the files this campaign
                 # wrote — never a directory listing, which would pick up
@@ -520,11 +675,11 @@ def run_campaign(spec: CampaignSpec, workers: int = 1,
                 write_manifest(
                     output_dir / "manifest.json",
                     config=dataclasses.replace(spec, output_dir=None),
-                    metrics={"cells": cell_metrics},
+                    metrics={"cells": merge.cell_metrics},
                     extra={"queues": {cell_key(d, s): stats
                                       for (d, s), stats
-                                      in queue_stats.items()},
-                           "traces": sorted(written)})
+                                      in merge.queue_stats.items()},
+                           "traces": sorted(merge.written)})
 
     if reporter is not None:
         reporter.finish()
@@ -545,7 +700,7 @@ def run_campaign(spec: CampaignSpec, workers: int = 1,
     if output_dir:
         write_timing(output_dir / "timing.json", workers=workers,
                      cell_wall_seconds=cell_wall, cache=cache_stats,
-                     spans=span_summary)
+                     spans=span_summary, dispatch=dispatch_stats)
     return result
 
 

@@ -1,0 +1,534 @@
+"""Warm worker pool, batched cell leasing, shared-memory trace hand-off.
+
+The campaign dispatcher's transport layer.  A :class:`WarmWorkerPool` keeps
+``workers`` long-lived processes around: each worker imports the repro
+closure once (under the preferred ``fork`` start method it inherits the
+parent's already-imported modules outright), reports its import-closure
+cache salt in a handshake, and then serves *leases* — contiguous batches
+of (δ, seed) grid cells planned by :func:`plan_leases` — until the pool is
+closed.  Compared to the legacy per-cell spawn pool this removes the three
+fixed costs that dominate once cells get cheap (the analytic fast-forward
+mode): per-campaign process start-up and cold interpreter imports,
+per-cell submit/pickle round trips, and pickling every ProbeTrace column
+through the result pipe.
+
+Result arrays cross the process boundary through
+``multiprocessing.shared_memory`` when available: the worker concatenates
+every trace column of a lease into one shared block and sends only
+``(offset, count)`` descriptors (:func:`pack_lease`); the parent copies the
+columns back out and unlinks the block (:func:`unpack_lease`).  Any
+failure — no ``/dev/shm``, import error, allocation failure — falls back
+to inline pickling of the same arrays, so the hand-off is an optimization,
+never a correctness input.  Everything in this module is execution
+mechanics: it moves bytes between processes but computes nothing, which is
+why it is excluded from the derived cache-salt closure and banned from the
+kernel call graph alongside the telemetry modules (OBS002).
+
+Staleness: a long-lived pool may outlive a code edit.  Workers therefore
+report :func:`repro.experiments.cache.cache_salt` (their view of the
+import-closure code version) when they start; the parent refuses the pool
+with :class:`StaleWorkerError` when any worker's salt differs from its
+own.  Under ``fork`` the check is cheap (the memoized salt is inherited);
+under ``spawn`` each worker derives it from the sources on disk, making
+the handshake a real cross-process code-version check.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing as mp
+import os
+import traceback
+from collections import deque
+from multiprocessing.connection import wait as _wait_connections
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.netdyn.trace import ProbeTrace
+from repro.obs.spans import (
+    PHASE_LEASE,
+    PHASE_SHM,
+    SpanTracer,
+    append_spans,
+)
+
+try:  # pragma: no cover - import succeeds on every supported platform
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover - exotic builds without _posixshmem
+    _shared_memory = None  # type: ignore[assignment]
+
+
+class StaleWorkerError(RuntimeError):
+    """A pool worker reported an import-closure salt the parent rejects."""
+
+
+class LeaseError(RuntimeError):
+    """A lease failed inside a worker (carries the worker traceback)."""
+
+
+#: Leases each worker should serve per campaign when auto-tuning the batch
+#: size: enough batches that a slow cell cannot straggle the whole grid,
+#: few enough that per-lease IPC stays amortized.
+LEASES_PER_WORKER = 4
+
+#: Target wall-clock length of one lease, seconds, used with the per-cell
+#: duration estimate to keep leases short on expensive (event-mode) grids.
+TARGET_LEASE_SECONDS = 2.0
+
+
+def plan_leases(cells: Sequence[Tuple[float, int]], workers: int,
+                batch_size: Optional[int] = None,
+                cell_seconds: Optional[float] = None,
+                ) -> List[List[Tuple[float, int]]]:
+    """Partition grid cells into deterministic, contiguous lease batches.
+
+    The partition depends only on the arguments — never on timing or
+    worker count *behaviour* — so the same spec always produces the same
+    leases (the serial==parallel byte-identity invariant needs nothing
+    from this, since the merge re-orders by grid index, but deterministic
+    leases keep span/timing telemetry comparable across runs).
+
+    ``batch_size=None`` auto-tunes: start from a fair share that gives
+    every worker about :data:`LEASES_PER_WORKER` leases, then shrink the
+    batch when the per-cell duration estimate says one lease would exceed
+    :data:`TARGET_LEASE_SECONDS` (expensive event-mode cells), so the tail
+    of the grid stays balanced.
+    """
+    if batch_size is not None and batch_size < 1:
+        raise ConfigurationError(
+            f"batch_size must be >= 1, got {batch_size}")
+    cells = list(cells)
+    if not cells:
+        return []
+    if batch_size is None:
+        fair = math.ceil(len(cells) / (max(1, workers) * LEASES_PER_WORKER))
+        batch_size = max(1, fair)
+        if cell_seconds is not None and cell_seconds > 0:
+            by_cost = max(1, int(TARGET_LEASE_SECONDS / cell_seconds))
+            batch_size = max(1, min(batch_size, by_cost))
+    return [cells[i:i + batch_size]
+            for i in range(0, len(cells), batch_size)]
+
+
+# ----------------------------------------------------------------------
+# Lease payloads: shared-memory packing with an inline-pickle fallback
+# ----------------------------------------------------------------------
+def _create_block(size: int):
+    """A shared-memory block that this process's tracker does not own.
+
+    The block's lifecycle deliberately crosses processes (worker creates,
+    parent unlinks), which the per-process ``resource_tracker`` cannot
+    model — it would warn about a "leaked" segment the parent already
+    removed.  Python 3.13 has ``track=False`` for exactly this; older
+    versions need the explicit unregister.
+    """
+    try:
+        return _shared_memory.SharedMemory(create=True, size=size,
+                                           track=False)
+    except TypeError:
+        block = _shared_memory.SharedMemory(create=True, size=size)
+        try:
+            from multiprocessing import resource_tracker
+            resource_tracker.unregister(block._name, "shared_memory")
+        except (ImportError, AttributeError, KeyError, ValueError, OSError):
+            pass  # best effort: worst case is a spurious tracker warning
+        return block
+
+
+def _attach_block(name: str):
+    try:
+        return _shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:
+        return _shared_memory.SharedMemory(name=name)
+
+
+def pack_lease(results: Sequence[Any], use_shm: bool = True,
+               tracer: Optional[SpanTracer] = None) -> Dict[str, Any]:
+    """Serialize a lease's CellResults for the pipe back to the parent.
+
+    Scalar fields (metrics, queue stats, trace metadata) always travel by
+    pickle — dict iteration order survives pickling, which the
+    byte-identical artifact invariant relies on.  The float64 trace
+    columns go through one shared-memory block per lease when ``use_shm``
+    and the platform cooperates; otherwise they ride inline in the same
+    message (the npz-pickle fallback).  The returned payload tags which
+    transport was used so the parent can account for it in timing.json.
+    """
+    records = []
+    arrays: List[np.ndarray] = []
+    for cell in results:
+        trace = cell.trace
+        records.append({
+            "delta": cell.delta,
+            "seed": cell.seed,
+            "queue_stats": cell.queue_stats,
+            "metrics": cell.metrics,
+            "wall_seconds": cell.wall_seconds,
+            "trace": {"delta": trace.delta,
+                      "payload_bytes": trace.payload_bytes,
+                      "wire_bytes": trace.wire_bytes,
+                      "meta": trace.meta},
+        })
+        arrays.append(np.ascontiguousarray(trace.send_times,
+                                           dtype=np.float64))
+        arrays.append(np.ascontiguousarray(trace.rtts, dtype=np.float64))
+    if use_shm and _shared_memory is not None:
+        try:
+            return _pack_shm(records, arrays, tracer)
+        except (OSError, ValueError, MemoryError):
+            # Segment creation can fail (no /dev/shm, exhausted space,
+            # zero-size edge): fall back to inline pickling — slower,
+            # never wrong.
+            pass
+    for record, send_times, rtts in zip(records, arrays[0::2],
+                                        arrays[1::2]):
+        record["send_times"] = send_times
+        record["rtts"] = rtts
+    return {"transport": "inline", "cells": records, "shm_bytes": 0}
+
+
+def _pack_shm(records: List[dict], arrays: List[np.ndarray],
+              tracer: Optional[SpanTracer]) -> Dict[str, Any]:
+    total = sum(int(array.nbytes) for array in arrays)
+    if tracer is not None:
+        with tracer.span("shm publish", phase=PHASE_SHM):
+            return _copy_into_block(records, arrays, total)
+    return _copy_into_block(records, arrays, total)
+
+
+def _copy_into_block(records: List[dict], arrays: List[np.ndarray],
+                     total: int) -> Dict[str, Any]:
+    block = _create_block(max(1, total))
+    try:
+        offset = 0
+        descriptors: List[Tuple[int, int]] = []
+        for array in arrays:
+            view = np.ndarray((array.size,), dtype=np.float64,
+                              buffer=block.buf, offset=offset)
+            view[:] = array
+            del view  # release the buffer export before block.close()
+            descriptors.append((offset, int(array.size)))
+            offset += int(array.nbytes)
+        for record, send_times, rtts in zip(records, descriptors[0::2],
+                                            descriptors[1::2]):
+            record["send_times"] = send_times
+            record["rtts"] = rtts
+        name = block.name
+    except BaseException:
+        block.close()
+        try:
+            block.unlink()
+        except OSError:
+            pass  # already gone; nothing left to clean up
+        raise
+    block.close()
+    return {"transport": "shm", "cells": records, "shm_name": name,
+            "shm_bytes": total}
+
+
+def unpack_lease(payload: Dict[str, Any]) -> Tuple[List[Any], Dict[str, Any]]:
+    """Rebuild a lease's CellResults from :func:`pack_lease`'s payload.
+
+    Returns ``(cells, info)`` where ``info`` records the transport used
+    and the shared-memory byte volume.  Shared blocks are copied out,
+    closed, and unlinked here — the parent owns teardown, so a completed
+    lease never leaves a segment behind.
+    """
+    if payload["transport"] == "shm":
+        block = _attach_block(payload["shm_name"])
+        try:
+            cells = [_cell_from_record(record,
+                                       _read_block(block,
+                                                   *record["send_times"]),
+                                       _read_block(block, *record["rtts"]))
+                     for record in payload["cells"]]
+        finally:
+            block.close()
+            try:
+                block.unlink()
+            except OSError:
+                pass  # already gone; nothing left to clean up
+        return cells, {"transport": "shm",
+                       "shm_bytes": payload["shm_bytes"]}
+    cells = [_cell_from_record(record, record["send_times"],
+                               record["rtts"])
+             for record in payload["cells"]]
+    return cells, {"transport": "inline", "shm_bytes": 0}
+
+
+def _read_block(block, offset: int, count: int) -> np.ndarray:
+    view = np.ndarray((count,), dtype=np.float64, buffer=block.buf,
+                      offset=offset)
+    data = view.copy()
+    del view
+    return data
+
+
+def _cell_from_record(record: dict, send_times: np.ndarray,
+                      rtts: np.ndarray):
+    from repro.experiments.campaign import CellResult
+    header = record["trace"]
+    trace = ProbeTrace(delta=header["delta"], send_times=send_times,
+                       rtts=rtts, payload_bytes=header["payload_bytes"],
+                       wire_bytes=header["wire_bytes"],
+                       meta=header["meta"])
+    return CellResult(delta=record["delta"], seed=record["seed"],
+                      trace=trace, queue_stats=record["queue_stats"],
+                      metrics=record["metrics"],
+                      wall_seconds=record["wall_seconds"])
+
+
+# ----------------------------------------------------------------------
+# The worker loop
+# ----------------------------------------------------------------------
+def _worker_main(conn, salt_override: Optional[str] = None) -> None:
+    """Serve leases until told to stop (runs in the worker process).
+
+    The first message out is the handshake: this worker's import-closure
+    cache salt (or the injected override — tests use it to exercise the
+    stale-worker refusal without editing sources).  Under ``fork`` the
+    memoized salt is inherited from the parent; under ``spawn`` it is
+    derived fresh from the sources on disk.
+    """
+    if salt_override is None:
+        from repro.experiments.cache import cache_salt
+        salt = cache_salt()
+    else:
+        salt = salt_override
+    conn.send(("hello", -1, {"salt": salt, "pid": os.getpid()}))
+    while True:
+        try:
+            message = conn.recv()
+        except EOFError:
+            return  # parent went away; nothing left to serve
+        if message[0] == "stop":
+            return
+        request = message[1]
+        try:
+            payload = _serve_lease(request)
+        except BaseException:
+            conn.send(("error", request["index"], traceback.format_exc()))
+            continue
+        conn.send(("result", request["index"], payload))
+
+
+def _serve_lease(request: Dict[str, Any]) -> Dict[str, Any]:
+    from repro.experiments.campaign import _run_cell
+    spec = request["spec"]
+    span_dir = request["span_dir"]
+    if span_dir is None:
+        results = [_run_cell(spec, delta, seed)
+                   for delta, seed in request["cells"]]
+        return pack_lease(results, use_shm=request["use_shm"])
+    tracer = SpanTracer()
+    with tracer.span(f"lease {request['index']}", phase=PHASE_LEASE):
+        results = [_run_cell(spec, delta, seed, span_dir=span_dir)
+                   for delta, seed in request["cells"]]
+        payload = pack_lease(results, use_shm=request["use_shm"],
+                             tracer=tracer)
+    append_spans(span_dir, tracer.records)
+    return payload
+
+
+# ----------------------------------------------------------------------
+# The pool
+# ----------------------------------------------------------------------
+def _default_start_method() -> str:
+    methods = mp.get_all_start_methods()
+    return "fork" if "fork" in methods else mp.get_start_method()
+
+
+class WarmWorkerPool:
+    """Persistent campaign workers serving batched cell leases.
+
+    Parameters
+    ----------
+    workers:
+        Long-lived worker processes to keep.
+    start_method:
+        Multiprocessing start method (default: ``fork`` where available,
+        else the platform default).  ``fork`` makes warm-up free — the
+        repro closure is inherited already imported.
+    expected_salt:
+        Import-closure salt the parent demands in the handshake (default:
+        its own :func:`~repro.experiments.cache.cache_salt`).  Tests
+        inject a value to avoid the source analysis.
+    worker_salt:
+        Salt the workers *report* instead of deriving their own — test
+        injection for the stale-worker refusal path.
+    use_shm:
+        Publish lease trace columns through shared memory (default); the
+        inline-pickle fallback still engages per lease on any failure.
+
+    A pool is reusable across campaigns: pass the instance as
+    ``run_campaign(..., pool=pool)`` repeatedly and close it once at the
+    end (or use it as a context manager).  Lifetime transport accounting
+    (leases served, shared-memory bytes) accumulates on the instance and
+    is snapshotted into each campaign's ``timing.json``.
+    """
+
+    def __init__(self, workers: int, start_method: Optional[str] = None,
+                 expected_salt: Optional[str] = None,
+                 worker_salt: Optional[str] = None,
+                 use_shm: bool = True) -> None:
+        if workers < 1:
+            raise ConfigurationError(
+                f"pool workers must be >= 1, got {workers}")
+        self.workers = int(workers)
+        self.use_shm = bool(use_shm)
+        self._start_method = start_method
+        self._expected_salt = expected_salt
+        self._worker_salt = worker_salt
+        self._procs: List[mp.process.BaseProcess] = []
+        self._conns: List[Any] = []
+        #: Verified handshake salt once started.
+        self.salt: Optional[str] = None
+        self.worker_pids: List[int] = []
+        #: Lifetime transport accounting.
+        self.leases_served = 0
+        self.shm_leases = 0
+        self.inline_leases = 0
+        self.shm_bytes = 0
+
+    @property
+    def started(self) -> bool:
+        return bool(self._procs)
+
+    def start(self) -> "WarmWorkerPool":
+        """Launch the workers and verify the salt handshake (idempotent)."""
+        if self._procs:
+            return self
+        expected = self._expected_salt
+        if expected is None:
+            # Computed (and memoized) before forking, so fork workers
+            # inherit it and the handshake costs nothing.
+            from repro.experiments.cache import cache_salt
+            expected = cache_salt()
+        context = mp.get_context(self._start_method
+                                 or _default_start_method())
+        conns: List[Any] = []
+        procs: List[mp.process.BaseProcess] = []
+        try:
+            for _ in range(self.workers):
+                parent_end, child_end = context.Pipe()
+                proc = context.Process(target=_worker_main,
+                                       args=(child_end,
+                                             self._worker_salt),
+                                       daemon=True)
+                proc.start()
+                child_end.close()
+                conns.append(parent_end)
+                procs.append(proc)
+            pids = []
+            for conn in conns:
+                kind, _, hello = conn.recv()
+                if kind != "hello":
+                    raise LeaseError(
+                        f"expected worker handshake, got {kind!r}")
+                if hello["salt"] != expected:
+                    raise StaleWorkerError(
+                        f"worker pid {hello['pid']} reports import-closure "
+                        f"salt {hello['salt']!r} but the parent expects "
+                        f"{expected!r}; the worker is running stale code — "
+                        "restart the pool on the current sources")
+                pids.append(hello["pid"])
+        except BaseException:
+            _teardown(conns, procs)
+            raise
+        self._conns = conns
+        self._procs = procs
+        self.worker_pids = pids
+        self.salt = expected
+        return self
+
+    def run_leases(self, spec: Any,
+                   leases: Sequence[Sequence[Tuple[float, int]]],
+                   span_dir: Optional[Any] = None,
+                   ) -> Iterator[Tuple[int, List[Any], Dict[str, Any]]]:
+        """Dispatch leases and yield ``(index, cells, info)`` as they land.
+
+        Completion order, not lease order: the caller's streaming merge
+        re-orders by grid index.  Every worker holds at most one lease;
+        finishing one immediately earns the next, so the pool stays busy
+        without any global barrier.  A worker error or crash closes the
+        pool (its pipes are in an unknown state) and raises
+        :class:`LeaseError`.
+        """
+        self.start()
+        pending = deque(enumerate(leases))
+        active: Dict[Any, int] = {}
+        for conn in self._conns:
+            if not pending:
+                break
+            self._dispatch(conn, pending.popleft(), spec, span_dir)
+            active[conn] = True  # type: ignore[assignment]
+        while active:
+            for conn in _wait_connections(list(active)):
+                try:
+                    kind, index, payload = conn.recv()
+                except EOFError:
+                    self.close()
+                    raise LeaseError(
+                        "a pool worker exited mid-lease (killed or "
+                        "crashed); the pool has been closed")
+                if kind == "error":
+                    self.close()
+                    raise LeaseError(
+                        f"lease {index} failed in worker:\n{payload}")
+                cells, info = unpack_lease(payload)
+                self.leases_served += 1
+                if info["transport"] == "shm":
+                    self.shm_leases += 1
+                    self.shm_bytes += info["shm_bytes"]
+                else:
+                    self.inline_leases += 1
+                if pending:
+                    self._dispatch(conn, pending.popleft(), spec, span_dir)
+                else:
+                    del active[conn]
+                yield index, cells, info
+
+    def _dispatch(self, conn, numbered_lease, spec, span_dir) -> None:
+        index, cells = numbered_lease
+        conn.send(("lease", {"index": index, "spec": spec,
+                             "cells": list(cells), "span_dir": span_dir,
+                             "use_shm": self.use_shm}))
+
+    def close(self) -> None:
+        """Stop the workers; safe to call twice (and from error paths)."""
+        conns, procs = self._conns, self._procs
+        self._conns, self._procs = [], []
+        self.worker_pids = []
+        _teardown(conns, procs)
+
+    def __enter__(self) -> "WarmWorkerPool":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "started" if self.started else "cold"
+        return (f"<WarmWorkerPool workers={self.workers} {state} "
+                f"leases={self.leases_served} shm_bytes={self.shm_bytes}>")
+
+
+def _teardown(conns: List[Any], procs: List[mp.process.BaseProcess]) -> None:
+    for conn in conns:
+        try:
+            conn.send(("stop",))
+        except (OSError, ValueError):
+            pass
+    for conn in conns:
+        try:
+            conn.close()
+        except OSError:
+            pass
+    for proc in procs:
+        proc.join(timeout=5.0)
+    for proc in procs:
+        if proc.is_alive():  # pragma: no cover - stuck-worker backstop
+            proc.terminate()
+            proc.join(timeout=5.0)

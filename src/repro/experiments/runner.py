@@ -62,6 +62,30 @@ def probe_scenario(scenario: Scenario, config: ExperimentConfig,
         registry=registry)
 
 
+#: Coarse per-cell cost model for lease planning (host seconds per
+#: simulated second, measured once on the reference host).  Only the
+#: *relative* scale matters — it sizes lease batches, never results.
+_EVENT_SECONDS_PER_SIM_SECOND = 0.07
+_ANALYTIC_BASE_SECONDS = 0.010
+_ANALYTIC_SECONDS_PER_SIM_SECOND = 0.0003
+
+
+def estimate_cell_seconds(config: ExperimentConfig) -> float:
+    """A-priori wall-cost estimate of one campaign cell, host seconds.
+
+    Pure arithmetic on the configuration (no clocks, no trial runs):
+    event-mode cost scales with the simulated horizon (warm-up plus probe
+    train); analytic cells pay a small fixed setup plus a much shallower
+    slope.  The campaign dispatcher uses this to auto-tune lease batch
+    sizes — a wrong estimate costs balance, never correctness.
+    """
+    horizon = config.warmup + config.duration
+    if config.mode == "analytic":
+        return (_ANALYTIC_BASE_SECONDS
+                + _ANALYTIC_SECONDS_PER_SIM_SECOND * horizon)
+    return max(1e-3, _EVENT_SECONDS_PER_SIM_SECOND * horizon)
+
+
 def run_experiment(config: ExperimentConfig) -> ProbeTrace:
     """Build the scenario, warm up the traffic, probe, return the trace.
 

@@ -105,7 +105,8 @@ def read_manifest(path: Union[str, Path]) -> Dict[str, Any]:
 def write_timing(path: Union[str, Path], workers: int,
                  cell_wall_seconds: Dict[str, float],
                  cache: Optional[Dict[str, Any]] = None,
-                 spans: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+                 spans: Optional[Dict[str, Any]] = None,
+                 dispatch: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
     """Write the execution-timing sidecar of a campaign run.
 
     Wall-clock timings are inherently non-deterministic, so they live in
@@ -115,11 +116,14 @@ def write_timing(path: Union[str, Path], workers: int,
     invariant), while the sidecar records how the run was executed —
     worker count, per-cell wall seconds, (when a cell cache was in
     play) the ``cache`` block: hits/misses, byte volumes, and the per-cell
-    hit-or-miss map, and (when span telemetry was enabled) the ``spans``
+    hit-or-miss map, (when span telemetry was enabled) the ``spans``
     block: per-phase counts and wall totals from
-    :func:`repro.obs.spans.summarize_spans`.  Cache behaviour and span
-    telemetry are execution mechanics, which is exactly why they belong
-    here and never in the manifest.
+    :func:`repro.obs.spans.summarize_spans`, and the ``dispatch`` block:
+    which executor ran the grid (serial / warm lease pipeline / spawn
+    pool), lease count and batch size, and shared-memory transport
+    volumes.  Cache behaviour, span telemetry, and dispatch mechanics are
+    execution mechanics, which is exactly why they belong here and never
+    in the manifest.
 
     Returns the document that was written.
     """
@@ -133,6 +137,8 @@ def write_timing(path: Union[str, Path], workers: int,
         document["cache"] = cache
     if spans is not None:
         document["spans"] = spans
+    if dispatch is not None:
+        document["dispatch"] = dispatch
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")

@@ -57,6 +57,12 @@ class ProgressReporter:
         self.done = 0
         self.cached = 0
         self.busy_seconds = 0.0
+        #: Worker seconds the cache saved (the hits' recorded cell costs).
+        #: Kept strictly apart from ``busy_seconds``: saved time was never
+        #: spent this run, so it must not enter the ETA mean — a burst of
+        #: near-instant cache hits would otherwise crater the per-cell
+        #: estimate and project an absurdly optimistic finish.
+        self.saved_seconds = 0.0
         self._started: Optional[float] = None
         self._finished = False
 
@@ -69,14 +75,30 @@ class ProgressReporter:
             self._started = self.clock()
         self._draw()
 
-    def cell_cached(self, key: str) -> None:
-        """One cell was answered from the cell cache."""
+    def cell_cached(self, key: str, saved_seconds: float = 0.0) -> None:
+        """One cell was answered from the cell cache.
+
+        ``saved_seconds`` is the cell's originally recorded wall cost —
+        reported separately as time the cache saved, never folded into
+        the busy/ETA accounting.
+        """
         self.done += 1
         self.cached += 1
+        self.saved_seconds += max(0.0, saved_seconds)
         self._draw()
 
-    def cell_done(self, key: str, wall_seconds: float = 0.0) -> None:
-        """One cell finished simulating (``wall_seconds`` of worker time)."""
+    def cell_done(self, key: str, wall_seconds: float = 0.0,
+                  cached: bool = False) -> None:
+        """One cell finished (``wall_seconds`` of worker time).
+
+        ``cached=True`` routes the event to the cache-hit accounting
+        (same as :meth:`cell_cached`): a hit's wall cost is time *saved*,
+        not time spent, so it stays out of the ETA mean by construction
+        even when a caller funnels every completion through this method.
+        """
+        if cached:
+            self.cell_cached(key, saved_seconds=wall_seconds)
+            return
         self.done += 1
         self.busy_seconds += max(0.0, wall_seconds)
         self._draw()
@@ -107,7 +129,12 @@ class ProgressReporter:
         return min(1.0, self.busy_seconds / (elapsed * self.workers))
 
     def eta_seconds(self) -> Optional[float]:
-        """Projected seconds to finish, from mean simulated-cell cost."""
+        """Projected seconds to finish, from mean *simulated*-cell cost.
+
+        Cache hits are excluded from the mean on both sides of the
+        division (their count and their saved wall time), so a hit-heavy
+        prefix cannot skew the projection for the cells still to run.
+        """
         simulated = self.done - self.cached
         remaining = self.total - self.done
         if remaining <= 0 or simulated <= 0 or self.busy_seconds <= 0:
@@ -122,7 +149,12 @@ class ProgressReporter:
         """The current status line (without the carriage return)."""
         parts = [f"campaign {self.done}/{self.total} cells"]
         if self.cached:
-            parts.append(f"{self.cached} cached")
+            cached_text = f"{self.cached} cached"
+            if self.saved_seconds > 0:
+                # Time the cache saved — shown apart from elapsed/ETA,
+                # which count only this run's spent time.
+                cached_text += f" (saved {self.saved_seconds:.1f}s)"
+            parts.append(cached_text)
         worker_text = f"{self.workers} worker" \
             + ("s" if self.workers != 1 else "")
         utilization = self.utilization()

@@ -2,8 +2,9 @@
 
 A :class:`SpanTracer` records nested *spans* — named intervals of host
 wall-clock time, each tagged with a phase (``campaign``, ``cell``,
-``setup``, ``sim``, ``analysis``, ``cache``, ``merge``) and, for per-cell
-work, the cell key it belongs to.  Campaign workers
+``setup``, ``sim``, ``analysis``, ``cache``, ``merge``, and for warm-pool
+campaigns ``lease``/``shm``) and, for per-cell work, the cell key it
+belongs to.  Campaign workers
 (:func:`repro.experiments.campaign._run_cell`) time their phases with one
 tracer per process and append the records to a per-worker JSONL file
 (:func:`append_spans`); the parent reads every worker file back
@@ -51,6 +52,10 @@ PHASE_SIM = "sim"
 PHASE_ANALYSIS = "analysis"
 PHASE_CACHE = "cache"
 PHASE_MERGE = "merge"
+#: Lease-pipeline phases (warm-pool campaigns): a worker serving one lease
+#: batch, and the shared-memory publish of its trace columns.
+PHASE_LEASE = "lease"
+PHASE_SHM = "shm"
 
 #: Per-worker span file pattern inside a span directory.
 _WORKER_FILE_PREFIX = "spans-w"

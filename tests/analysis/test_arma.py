@@ -2,8 +2,11 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.analysis.arma import (
+    _autocovariances,
     evaluate_prediction,
     fit_ar,
     select_order,
@@ -20,6 +23,36 @@ def ar1_series(phi=0.8, n=5000, noise=0.1, mean=1.0, seed=0):
         series[i] = mean + phi * (series[i - 1] - mean) \
             + rng.normal(0, noise)
     return series
+
+
+def loop_autocovariances(series, max_lag):
+    """The retired per-lag loop, kept as the equivalence oracle."""
+    centered = series - series.mean()
+    n = len(series)
+    gammas = np.empty(max_lag + 1)
+    for lag in range(max_lag + 1):
+        gammas[lag] = np.dot(centered[:n - lag], centered[lag:]) / n
+    return gammas
+
+
+class TestAutocovariances:
+    @given(values=st.lists(st.floats(min_value=-1e3, max_value=1e3,
+                                     allow_nan=False, width=32),
+                           min_size=4, max_size=80),
+           data=st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_vectorized_matches_loop(self, values, data):
+        series = np.array(values, dtype=float)
+        max_lag = data.draw(st.integers(0, len(series) - 1))
+        got = _autocovariances(series, max_lag)
+        want = loop_autocovariances(series, max_lag)
+        assert np.allclose(got, want, rtol=1e-9, atol=1e-6)
+
+    def test_long_series_fft_route_matches_loop(self):
+        series = ar1_series(n=6000)  # above the FFT crossover
+        got = _autocovariances(series, max_lag=25)
+        want = loop_autocovariances(series, max_lag=25)
+        assert np.allclose(got, want, rtol=1e-10)
 
 
 class TestFitAr:

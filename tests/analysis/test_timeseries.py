@@ -2,9 +2,13 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
+from repro.analysis import timeseries as timeseries_module
 from repro.analysis.timeseries import (
     autocorrelation,
+    autocorrelation_sums,
     delay_change_rate,
     moving_average,
     periodic_spike_period,
@@ -18,6 +22,15 @@ from repro.netdyn.trace import ProbeTrace
 
 def trace_of(rtts, delta=0.05):
     return ProbeTrace.from_samples(delta=delta, rtts=rtts)
+
+
+def loop_reference_sums(centered, max_lag):
+    """The retired scalar loop, kept as the equivalence oracle."""
+    n = len(centered)
+    sums = np.empty(max_lag + 1)
+    for lag in range(max_lag + 1):
+        sums[lag] = np.dot(centered[:n - lag], centered[lag:])
+    return sums
 
 
 class TestSummarize:
@@ -74,6 +87,63 @@ class TestAutocorrelation:
         rtts = [0.1, 0.0] * 50  # 50% losses
         with pytest.raises(InsufficientDataError):
             autocorrelation(trace_of(rtts + [0.0]), max_lag=5)
+
+
+class TestAutocorrelationSums:
+    """The vectorized lag-sum kernel must match the scalar loop exactly.
+
+    ``autocorrelation_sums`` replaced a per-lag Python loop with
+    ``np.correlate`` (short series) and an FFT path (long series); both
+    routes are held to the retired loop as the oracle.
+    """
+
+    @given(values=st.lists(st.floats(min_value=-1e3, max_value=1e3,
+                                     allow_nan=False, width=32),
+                           min_size=2, max_size=64),
+           data=st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_correlate_path_matches_loop(self, values, data):
+        series = np.array(values, dtype=float)
+        centered = series - series.mean()
+        max_lag = data.draw(st.integers(0, len(series) - 1))
+        got = autocorrelation_sums(centered, max_lag)
+        want = loop_reference_sums(centered, max_lag)
+        assert got.shape == (max_lag + 1,)
+        assert np.allclose(got, want, rtol=1e-9, atol=1e-6)
+
+    @given(values=st.lists(st.floats(min_value=-1e3, max_value=1e3,
+                                     allow_nan=False, width=32),
+                           min_size=2, max_size=64),
+           data=st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_fft_path_matches_loop(self, values, data):
+        series = np.array(values, dtype=float)
+        centered = series - series.mean()
+        max_lag = data.draw(st.integers(0, len(series) - 1))
+        # Force the FFT branch regardless of series length (a plain
+        # monkeypatch fixture is function-scoped, which hypothesis
+        # rejects inside @given).
+        with pytest.MonkeyPatch.context() as patch:
+            patch.setattr(timeseries_module, "_FFT_MIN_SIZE", 1)
+            got = autocorrelation_sums(centered, max_lag)
+        want = loop_reference_sums(centered, max_lag)
+        assert np.allclose(got, want, rtol=1e-9, atol=1e-6)
+
+    def test_long_series_takes_fft_path(self):
+        # Above the crossover the FFT route runs for real (no
+        # monkeypatching) and must still reproduce the loop.
+        rng = np.random.default_rng(11)
+        centered = rng.normal(size=5000)
+        centered -= centered.mean()
+        got = autocorrelation_sums(centered, max_lag=40)
+        want = loop_reference_sums(centered, max_lag=40)
+        assert np.allclose(got, want, rtol=1e-10)
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            autocorrelation_sums(np.zeros(4), max_lag=-1)
+        with pytest.raises(AnalysisError):
+            autocorrelation_sums(np.zeros(4), max_lag=4)
 
 
 class TestMovingAverage:

@@ -187,3 +187,28 @@ class TestRealTree:
         rule = tree_copy / "devtools" / "rules_determinism.py"
         rule.write_text(rule.read_text() + "\nRULE_TWEAK = 1\n")
         assert derived_cache_salt(tree_copy) == base
+
+    def test_pool_plumbing_excluded_from_closure(self):
+        # The warm-pool dispatcher moves results between processes but
+        # computes none of them, so it must not participate in the salt.
+        project = Project.from_package(PACKAGE_ROOT)
+        report = compute_salt_report(project)
+        assert not any(name.startswith("repro.experiments.pool")
+                       for name in report.fingerprints)
+
+    def test_comment_only_dispatcher_edit_keeps_salt(self, tree_copy):
+        base = derived_cache_salt(tree_copy)
+        dispatcher = tree_copy / "experiments" / "pool.py"
+        dispatcher.write_text(dispatcher.read_text()
+                              + "\n# cosmetic dispatcher note\n")
+        assert derived_cache_salt(tree_copy) == base
+
+    def test_semantic_dispatcher_edit_keeps_salt(self, tree_copy):
+        # Stronger than comment-immunity: even real code changes to the
+        # lease/transport plumbing leave cached physics valid, because
+        # the transports are proven byte-exact separately.
+        base = derived_cache_salt(tree_copy)
+        dispatcher = tree_copy / "experiments" / "pool.py"
+        dispatcher.write_text(dispatcher.read_text()
+                              + "\nLEASES_PER_WORKER = 8\n")
+        assert derived_cache_salt(tree_copy) == base

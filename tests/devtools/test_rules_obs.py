@@ -182,6 +182,43 @@ class TestObs002:
         })
         assert run_rule("OBS002", project) == []
 
+    def test_pool_import_in_kernel_flagged(self, tmp_path):
+        # The warm-pool dispatcher is orchestration plumbing: the kernel
+        # computes results, it never leases or ships them.
+        project = telemetry_project(tmp_path, {
+            "repro/experiments/__init__.py": "",
+            "repro/experiments/pool.py": ("class WarmWorkerPool:\n"
+                                          "    pass\n"),
+            "repro/sim/kernel.py": (
+                "from repro.experiments.pool import WarmWorkerPool\n"
+                "class Simulator:\n"
+                "    def run(self):\n"
+                "        return WarmWorkerPool()\n"),
+        })
+        findings = run_rule("OBS002", project)
+        assert len(findings) == 1
+        assert "repro.experiments.pool" in findings[0].message
+
+    def test_campaign_may_import_pool(self, tmp_path):
+        # Outside the Simulator.run closure the dispatcher is fair game
+        # — that is where it is supposed to live.
+        project = telemetry_project(tmp_path, {
+            "repro/sim/kernel.py": (
+                "class Simulator:\n"
+                "    def run(self):\n"
+                "        return 1\n"),
+            "repro/experiments/__init__.py": "",
+            "repro/experiments/pool.py": ("class WarmWorkerPool:\n"
+                                          "    pass\n"),
+            "repro/experiments/campaign.py": (
+                "from repro.experiments.pool import WarmWorkerPool\n"
+                "from repro.sim.kernel import Simulator\n"
+                "def run_campaign(spec):\n"
+                "    pool = WarmWorkerPool()\n"
+                "    return Simulator().run()\n"),
+        })
+        assert run_rule("OBS002", project) == []
+
     def test_real_tree_is_clean(self):
         from repro.devtools.fingerprint import default_package_dir
         from repro.devtools.symbols import Project

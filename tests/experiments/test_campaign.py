@@ -234,3 +234,100 @@ class TestParallelCampaign:
         assert first.trace.rtts.tolist() == second.trace.rtts.tolist()
         assert first.metrics == second.metrics
         assert first.queue_stats == second.queue_stats
+
+
+def artifact_bytes(directory):
+    """Every deterministic artifact of a campaign run, by name."""
+    return {path.name: path.read_bytes()
+            for path in sorted(directory.glob("*"))
+            if path.name == "manifest.json"
+            or path.name.startswith("trace_")}
+
+
+class TestExecutorMatrix:
+    """Serial, warm lease pipeline, and spawn pool: one artifact set.
+
+    The executor is pure mechanics — every path must write byte-identical
+    manifests and trace CSVs, whatever transport carried the results and
+    however cache hits interleaved with fresh cells.
+    """
+
+    def analytic_spec(self, output_dir, **kwargs):
+        defaults = dict(deltas=(0.05, 0.1), seeds=(1, 2), duration=5.0,
+                        scenario_kwargs={"utilization_fwd": 0.3,
+                                         "utilization_rev": 0.3},
+                        mode="analytic", output_dir=output_dir)
+        defaults.update(kwargs)
+        return CampaignSpec(**defaults)
+
+    def test_warm_and_spawn_match_serial_byte_identical(self, tmp_path):
+        serial = run_campaign(self.analytic_spec(tmp_path / "serial"))
+        warm = run_campaign(self.analytic_spec(tmp_path / "warm"),
+                            workers=2, pool="warm")
+        spawn = run_campaign(self.analytic_spec(tmp_path / "spawn"),
+                             workers=2, pool="spawn")
+        reference = artifact_bytes(tmp_path / "serial")
+        assert len(reference) == 5  # manifest + 4 traces
+        assert artifact_bytes(tmp_path / "warm") == reference
+        assert artifact_bytes(tmp_path / "spawn") == reference
+        assert serial.table() == warm.table() == spawn.table()
+        assert serial.dispatch_stats["pool"] == "serial"
+        assert warm.dispatch_stats["pool"] == "warm"
+        assert spawn.dispatch_stats["pool"] == "spawn"
+
+    def test_warm_dispatch_accounting(self, tmp_path):
+        result = run_campaign(self.analytic_spec(tmp_path),
+                              workers=2, batch_size=1)
+        dispatch = result.dispatch_stats
+        assert dispatch["pool"] == "warm"
+        assert dispatch["leases"] == 4
+        assert dispatch["batch_size"] == 1
+        assert dispatch["shm_leases"] + dispatch["inline_leases"] == 4
+        assert dispatch["salt"]  # handshake-verified closure salt
+
+    def test_mixed_cache_hits_and_fresh_cells(self, tmp_path):
+        from repro.experiments.cache import CampaignCache
+        cache = CampaignCache(tmp_path / "cache")
+        # Prefill half the grid (seed 1 of each delta): hits and fresh
+        # cells then interleave in grid order on the full run.
+        run_campaign(self.analytic_spec(None, seeds=(1,)), cache=cache)
+        reference = run_campaign(self.analytic_spec(tmp_path / "plain"))
+        mixed = run_campaign(self.analytic_spec(tmp_path / "mixed"),
+                             workers=2, cache=cache, batch_size=1)
+        assert artifact_bytes(tmp_path / "mixed") \
+            == artifact_bytes(tmp_path / "plain")
+        assert mixed.cache_stats["hits"] == 2
+        assert mixed.cache_stats["misses"] == 2
+        assert mixed.dispatch_stats["leases"] == 2  # only the misses
+        assert reference.table() == mixed.table()
+
+    def test_shm_disabled_pool_falls_back_inline(self, tmp_path):
+        from repro.experiments.pool import WarmWorkerPool
+        reference = run_campaign(self.analytic_spec(tmp_path / "plain"))
+        with WarmWorkerPool(2, use_shm=False) as pool:
+            inline = run_campaign(self.analytic_spec(tmp_path / "inline"),
+                                  pool=pool)
+        assert artifact_bytes(tmp_path / "inline") \
+            == artifact_bytes(tmp_path / "plain")
+        dispatch = inline.dispatch_stats
+        assert dispatch["shm_leases"] == 0
+        assert dispatch["shm_bytes"] == 0
+        assert dispatch["inline_leases"] == dispatch["leases"] > 0
+        assert reference.table() == inline.table()
+
+    def test_event_mode_through_warm_pool(self, tmp_path):
+        spec = lambda d: small_spec(deltas=(0.1,), seeds=(1, 2),
+                                    duration=5.0, output_dir=d)
+        run_campaign(spec(tmp_path / "serial"))
+        run_campaign(spec(tmp_path / "warm"), workers=2, pool="warm")
+        assert artifact_bytes(tmp_path / "warm") \
+            == artifact_bytes(tmp_path / "serial")
+
+    def test_pool_argument_validation(self):
+        with pytest.raises(ConfigurationError):
+            run_campaign(small_spec(), workers=2, pool="lukewarm")
+
+    def test_batch_size_validation(self):
+        with pytest.raises(ConfigurationError):
+            run_campaign(small_spec(deltas=(0.1, 0.2)), workers=2,
+                         batch_size=0)

@@ -1,0 +1,236 @@
+"""Warm worker pool: lease planning, transports, handshake, serving.
+
+The pool is pure transport — it moves CellResults between processes but
+computes nothing — so these tests pin three things: the lease partition
+is deterministic, both transports (shared memory and the inline-pickle
+fallback) reproduce CellResults exactly, and the salt handshake refuses
+stale workers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments import pool as pool_module
+from repro.experiments.campaign import CampaignSpec, CellResult, _run_cell
+from repro.experiments.pool import (
+    LeaseError,
+    StaleWorkerError,
+    WarmWorkerPool,
+    pack_lease,
+    plan_leases,
+    unpack_lease,
+)
+from repro.netdyn.trace import ProbeTrace
+
+#: Injected handshake salt: skips the (slow) source analysis in tests
+#: that only exercise the transport, not the staleness check itself.
+TEST_SALT = "repro-cell-v2-test"
+
+
+def analytic_spec(**kwargs):
+    defaults = dict(deltas=(0.05, 0.1), seeds=(1, 2), duration=5.0,
+                    scenario_kwargs={"utilization_fwd": 0.3,
+                                     "utilization_rev": 0.3},
+                    mode="analytic")
+    defaults.update(kwargs)
+    return CampaignSpec(**defaults)
+
+
+def fast_pool(workers=2, **kwargs):
+    kwargs.setdefault("expected_salt", TEST_SALT)
+    kwargs.setdefault("worker_salt", TEST_SALT)
+    return WarmWorkerPool(workers, **kwargs)
+
+
+def make_cell(delta=0.05, seed=1, n=16):
+    rng = np.random.default_rng(seed)
+    trace = ProbeTrace(delta=delta,
+                       send_times=np.arange(n) * delta,
+                       rtts=rng.uniform(0.1, 0.2, size=n),
+                       meta={"seed": seed, "scenario": "test"})
+    return CellResult(delta=delta, seed=seed, trace=trace,
+                      queue_stats={"a->b": {"drops": 1.0, "arrivals": 9.0}},
+                      metrics={"ulp": 0.1, "clp": 0.2, "mean_rtt": 0.15},
+                      wall_seconds=0.5)
+
+
+def assert_cells_equal(rebuilt, originals, compare_wall=True):
+    # ``compare_wall=False`` when the two sides are independent *runs*:
+    # wall seconds are host bookkeeping, not a deterministic output.
+    assert len(rebuilt) == len(originals)
+    for got, want in zip(rebuilt, originals):
+        assert got.delta == want.delta
+        assert got.seed == want.seed
+        assert got.queue_stats == want.queue_stats
+        # dict order must survive the transport (byte-identity depends
+        # on it downstream), not just dict equality.
+        assert list(got.metrics) == list(want.metrics)
+        assert got.metrics == want.metrics
+        if compare_wall:
+            assert got.wall_seconds == want.wall_seconds
+        assert np.array_equal(got.trace.send_times, want.trace.send_times)
+        assert np.array_equal(got.trace.rtts, want.trace.rtts)
+        assert got.trace.meta == want.trace.meta
+        assert got.trace.delta == want.trace.delta
+
+
+class TestPlanLeases:
+    def test_empty_grid(self):
+        assert plan_leases([], workers=4) == []
+
+    def test_explicit_batch_size_partitions_contiguously(self):
+        cells = [(0.1, s) for s in range(7)]
+        leases = plan_leases(cells, workers=2, batch_size=3)
+        assert leases == [cells[0:3], cells[3:6], cells[6:7]]
+
+    def test_batch_size_validation(self):
+        with pytest.raises(ConfigurationError):
+            plan_leases([(0.1, 1)], workers=1, batch_size=0)
+
+    def test_deterministic(self):
+        cells = [(0.05, s) for s in range(16)]
+        assert plan_leases(cells, 2) == plan_leases(cells, 2)
+
+    def test_auto_tune_fair_share(self):
+        # 16 cells over 2 workers x LEASES_PER_WORKER leases -> batch 2.
+        cells = [(0.05, s) for s in range(16)]
+        leases = plan_leases(cells, workers=2)
+        assert all(len(lease) == 2 for lease in leases)
+        assert [cell for lease in leases for cell in lease] == cells
+
+    def test_auto_tune_shrinks_for_expensive_cells(self):
+        # A cell estimated above TARGET_LEASE_SECONDS forces batch 1.
+        cells = [(0.05, s) for s in range(16)]
+        leases = plan_leases(cells, workers=2, cell_seconds=5.0)
+        assert all(len(lease) == 1 for lease in leases)
+
+    def test_cheap_cells_keep_fair_share(self):
+        cells = [(0.05, s) for s in range(16)]
+        assert plan_leases(cells, workers=2, cell_seconds=1e-3) \
+            == plan_leases(cells, workers=2)
+
+    def test_covers_grid_for_any_batch_size(self):
+        cells = [(0.1, s) for s in range(11)]
+        for batch in (1, 2, 3, 5, 11, 50):
+            leases = plan_leases(cells, workers=3, batch_size=batch)
+            assert [cell for lease in leases for cell in lease] == cells
+
+
+class TestLeaseTransports:
+    def test_shm_round_trip(self):
+        originals = [make_cell(seed=1), make_cell(seed=2, n=33)]
+        payload = pack_lease(originals, use_shm=True)
+        if pool_module._shared_memory is None:  # pragma: no cover
+            pytest.skip("platform without multiprocessing.shared_memory")
+        assert payload["transport"] == "shm"
+        assert payload["shm_bytes"] == sum(
+            cell.trace.send_times.nbytes + cell.trace.rtts.nbytes
+            for cell in originals)
+        cells, info = unpack_lease(payload)
+        assert info == {"transport": "shm",
+                        "shm_bytes": payload["shm_bytes"]}
+        assert_cells_equal(cells, originals)
+
+    def test_inline_round_trip(self):
+        originals = [make_cell(seed=3)]
+        payload = pack_lease(originals, use_shm=False)
+        assert payload["transport"] == "inline"
+        assert payload["shm_bytes"] == 0
+        cells, info = unpack_lease(payload)
+        assert info == {"transport": "inline", "shm_bytes": 0}
+        assert_cells_equal(cells, originals)
+
+    def test_fallback_when_shared_memory_missing(self, monkeypatch):
+        monkeypatch.setattr(pool_module, "_shared_memory", None)
+        payload = pack_lease([make_cell()], use_shm=True)
+        assert payload["transport"] == "inline"
+
+    def test_fallback_when_shm_packing_fails(self, monkeypatch):
+        def boom(records, arrays, tracer):
+            raise OSError("no /dev/shm")
+        monkeypatch.setattr(pool_module, "_pack_shm", boom)
+        originals = [make_cell(seed=4)]
+        payload = pack_lease(originals, use_shm=True)
+        assert payload["transport"] == "inline"
+        cells, _ = unpack_lease(payload)
+        assert_cells_equal(cells, originals)
+
+    def test_empty_lease(self):
+        payload = pack_lease([], use_shm=True)
+        cells, _ = unpack_lease(payload)
+        assert cells == []
+
+
+class TestWarmWorkerPool:
+    def test_worker_count_validation(self):
+        with pytest.raises(ConfigurationError):
+            WarmWorkerPool(0)
+
+    def test_handshake_accepts_matching_salt(self):
+        with fast_pool(workers=2) as pool:
+            assert pool.started
+            assert pool.salt == TEST_SALT
+            assert len(pool.worker_pids) == 2
+        assert not pool.started
+
+    def test_handshake_refuses_stale_worker(self):
+        pool = fast_pool(workers=1, worker_salt="repro-cell-v2-stale")
+        with pytest.raises(StaleWorkerError, match="stale"):
+            pool.start()
+        assert not pool.started  # refused pool fully torn down
+
+    def test_start_is_idempotent(self):
+        with fast_pool(workers=1) as pool:
+            pids = pool.worker_pids
+            pool.start()
+            assert pool.worker_pids == pids
+
+    def test_close_is_idempotent(self):
+        pool = fast_pool(workers=1).start()
+        pool.close()
+        pool.close()
+
+    def test_serves_leases_matching_serial_results(self):
+        spec = analytic_spec()
+        grid = spec.cells()
+        leases = plan_leases(grid, workers=2, batch_size=1)
+        with fast_pool(workers=2) as pool:
+            served = {}
+            for index, cells, info in pool.run_leases(spec, leases):
+                served[index] = cells
+                assert info["transport"] in ("shm", "inline")
+            assert pool.leases_served == len(leases)
+            assert pool.shm_leases + pool.inline_leases == len(leases)
+        assert sorted(served) == list(range(len(leases)))
+        flat = [cell for index in sorted(served)
+                for cell in served[index]]
+        reference = [_run_cell(spec, delta, seed) for delta, seed in grid]
+        assert_cells_equal(flat, reference, compare_wall=False)
+
+    def test_worker_failure_raises_lease_error_and_closes(self):
+        spec = analytic_spec()
+        pool = fast_pool(workers=1).start()
+        with pytest.raises(LeaseError, match="lease 0 failed"):
+            # delta <= 0 fails config validation inside the worker.
+            list(pool.run_leases(spec, [[(-1.0, 1)]]))
+        assert not pool.started
+
+    def test_pool_reusable_across_campaigns(self, tmp_path):
+        from repro.experiments.campaign import run_campaign
+        spec_a = analytic_spec(output_dir=tmp_path / "a")
+        spec_b = analytic_spec(output_dir=tmp_path / "b")
+        serial = run_campaign(analytic_spec(output_dir=tmp_path / "s"))
+        with fast_pool(workers=2) as pool:
+            first = run_campaign(spec_a, pool=pool)
+            served_after_first = pool.leases_served
+            second = run_campaign(spec_b, pool=pool)
+            assert pool.started  # shared pool left running
+            assert served_after_first > 0
+            assert pool.leases_served > served_after_first
+        assert first.table() == serial.table() == second.table()
+        for name in ("manifest.json",):
+            assert (tmp_path / "a" / name).read_bytes() \
+                == (tmp_path / "s" / name).read_bytes()
+            assert (tmp_path / "b" / name).read_bytes() \
+                == (tmp_path / "s" / name).read_bytes()

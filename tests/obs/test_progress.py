@@ -103,6 +103,67 @@ class TestDerived:
         assert progress.eta_seconds() is None
 
 
+class TestEtaCacheSkew:
+    """Cache hits must not skew the ETA (regression).
+
+    A burst of near-instant cache hits used to be a risk for the
+    projected finish time: folding their (historical) wall cost or their
+    count into the mean simulated-cell cost craters the estimate.  Hits
+    are accounted on a separate ``saved_seconds`` channel instead.
+    """
+
+    def test_eta_unchanged_by_interleaved_cache_hits(self):
+        clock = FakeClock()
+        fresh_only = reporter(total=16, workers=2, clock=clock)
+        fresh_only.start()
+        mixed = reporter(total=16, workers=2, clock=clock)
+        mixed.start()
+        for i in range(4):
+            fresh_only.cell_done(f"f{i}", wall_seconds=4.0)
+            mixed.cell_done(f"f{i}", wall_seconds=4.0)
+            # The mixed run additionally resolves hits carrying large
+            # historical wall costs between every simulated cell.
+            mixed.cell_cached(f"c{i}", saved_seconds=100.0)
+        remaining_penalty = fresh_only.eta_seconds() - mixed.eta_seconds()
+        # Same mean (4.0s over 2 workers); the mixed run just has 4
+        # fewer cells left, so its ETA is exactly 4 cells shorter.
+        assert fresh_only.eta_seconds() == pytest.approx(4 * 4.0 / 2 + 16.0)
+        assert remaining_penalty == pytest.approx(4 * 4.0 / 2)
+        assert mixed.saved_seconds == pytest.approx(400.0)
+        assert mixed.busy_seconds == pytest.approx(16.0)
+
+    def test_cell_done_cached_routes_to_hit_accounting(self):
+        progress = reporter(total=4, workers=1)
+        progress.start()
+        progress.cell_done("fresh", wall_seconds=2.0)
+        progress.cell_done("hit", wall_seconds=50.0, cached=True)
+        assert progress.done == 2
+        assert progress.cached == 1
+        assert progress.busy_seconds == pytest.approx(2.0)
+        assert progress.saved_seconds == pytest.approx(50.0)
+        # ETA projects from the one simulated cell only.
+        assert progress.eta_seconds() == pytest.approx(2 * 2.0)
+
+    def test_saved_seconds_clamped_nonnegative(self):
+        progress = reporter()
+        progress.cell_cached("a", saved_seconds=-3.0)
+        assert progress.saved_seconds == 0.0
+
+    def test_render_reports_saved_time_separately(self):
+        clock = FakeClock()
+        progress = reporter(total=4, clock=clock)
+        progress.start()
+        progress.cell_cached("a", saved_seconds=12.25)
+        line = progress.render()
+        assert "1 cached (saved 12.2s)" in line
+
+    def test_render_omits_saved_time_when_zero(self):
+        progress = reporter(total=4)
+        progress.start()
+        progress.cell_cached("a")
+        assert "saved" not in progress.render()
+
+
 class TestRendering:
     def test_render_full_line(self):
         clock = FakeClock()
