@@ -16,6 +16,10 @@ from kernel_fastforward import SPEEDUP_FLOOR, run_suite
 
 from repro.obs.bench import write_report
 
+#: Noise-tolerant floor for the grid-batched section (the committed
+#: benchmark records >= 3x; shared CI runners get headroom).
+BATCHED_TEST_FLOOR = 2.0
+
 
 @pytest.fixture(scope="module")
 def fastforward_document():
@@ -45,3 +49,19 @@ def test_traces_stay_equivalent(fastforward_document):
     equivalence = fastforward_document["equivalence"]
     assert equivalence["losses_identical"] is True
     assert equivalence["max_rtt_gap_seconds"] == 0.0
+
+
+def test_batched_grid_speedup_floor(fastforward_document):
+    """Grid-batched execution must beat per-cell >= 2x on the grid."""
+    batched = fastforward_document["batched_vs_percell"]
+    assert batched["batched_speedup"] >= BATCHED_TEST_FLOOR, \
+        (f"batched {batched['batched_seconds']:.2f}s vs percell "
+         f"{batched['percell_seconds']:.2f}s = "
+         f"{batched['batched_speedup']:.1f}x")
+
+
+def test_batched_grid_byte_identical(fastforward_document):
+    """Replay reuse is pure execution: identical traces + queue stats."""
+    batched = fastforward_document["batched_vs_percell"]
+    assert batched["byte_identical"] is True
+    assert batched["grid"]["cells"] >= 12

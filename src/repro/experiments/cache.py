@@ -52,7 +52,7 @@ from repro.errors import AnalysisError, ConfigurationError
 from repro.experiments.config import DEFAULT_WARMUP
 from repro.net.packet import UDP_WIRE_OVERHEAD_BYTES
 from repro.netdyn.packetfmt import PROBE_PAYLOAD_BYTES
-from repro.netdyn.trace import ProbeTrace
+from repro.netdyn.trace import ProbeTrace, npz_mapping
 from repro.obs.structlog import obs_logger
 
 if TYPE_CHECKING:  # pragma: no cover - type-only imports
@@ -146,6 +146,31 @@ def cell_fingerprint(spec: "CampaignSpec", delta: float, seed: int,
     return hashlib.sha256(encoded.encode("utf-8")).hexdigest()
 
 
+def replay_fingerprint(scenario: str, scenario_kwargs: Dict[str, Any],
+                       seed: int, salt: Optional[str] = None) -> str:
+    """Stable SHA-256 digest of one seed's cross-traffic replay input.
+
+    The analytic engine's :class:`~repro.experiments.fastforward.
+    CrossReplayMemo` keys its in-process entries with this — the same
+    causal-fingerprint machinery as :func:`cell_fingerprint`, restricted
+    to what determines the cross-traffic streams: scenario name + kwargs,
+    seed, and the code-version salt.  δ, duration, and probe sizes are
+    deliberately excluded (cross traffic is open-loop and independent of
+    the probes — the whole point of sharing the replay across a δ-stack);
+    the horizon is handled by the memo's covers-semantics, not the key.
+    """
+    if salt is None:
+        salt = cache_salt()
+    document = {
+        "scenario": scenario,
+        "scenario_kwargs": scenario_kwargs,
+        "seed": int(seed),
+        "salt": salt,
+    }
+    encoded = json.dumps(document, sort_keys=True, default=repr)
+    return hashlib.sha256(encoded.encode("utf-8")).hexdigest()
+
+
 class CampaignCache:
     """On-disk, content-addressed store of campaign cell results.
 
@@ -224,15 +249,45 @@ class CampaignCache:
 
         Returns the hits only, keyed by ``(delta, seed)``; every absent
         key is a miss to simulate.  Semantically identical to calling
-        :meth:`load` per cell — one call site lets the campaign consult
-        the cache in a single pass (one span, one accounting window)
-        before planning lease batches over the misses.
+        :meth:`load` per cell, but batched for the pre-dispatch span: one
+        directory scan answers existence and size for the whole grid
+        (instead of a ``stat`` per cell), and entries are read with
+        memory-mapped npz members (:func:`repro.netdyn.trace.npz_mapping`)
+        so a hit costs header parsing only — the float64 sample pages
+        fault in later, when the merge actually writes the trace CSV.
         """
         hits: Dict[tuple, "CellResult"] = {}
+        if self.refresh:
+            self.misses += len(cells)
+            return hits
+        sizes: Dict[str, int] = {}
+        try:
+            with os.scandir(self.directory) as listing:
+                for entry in listing:
+                    if not entry.name.startswith(".tmp-"):
+                        sizes[entry.name] = entry.stat().st_size
+        except OSError:
+            pass  # unreadable directory: every cell is a plain miss
         for delta, seed in cells:
-            result = self.load(spec, delta, seed)
-            if result is not None:
-                hits[(delta, seed)] = result
+            path = self.entry_path(spec, delta, seed)
+            size = sizes.get(path.name)
+            if size is None:
+                self.misses += 1
+                continue
+            fingerprint = cell_fingerprint(spec, delta, seed,
+                                           salt=self.salt)
+            try:
+                result = self._read_entry(path, fingerprint, mmap_mode="r")
+            except Exception as exc:
+                logger.warning("cache-entry-unreadable", entry=path.name,
+                               delta=float(delta), seed=int(seed),
+                               fingerprint=fingerprint, error=str(exc))
+                self.corrupt_entries += 1
+                self.misses += 1
+                continue
+            self.hits += 1
+            self.bytes_read += size
+            hits[(delta, seed)] = result
         return hits
 
     def store(self, spec: "CampaignSpec", delta: float, seed: int,
@@ -275,11 +330,17 @@ class CampaignCache:
 
     # ------------------------------------------------------------------
     @staticmethod
-    def _read_entry(path: Path, fingerprint: str) -> "CellResult":
+    def _read_entry(path: Path, fingerprint: str,
+                    mmap_mode: Optional[str] = None) -> "CellResult":
         from repro.experiments.campaign import CellResult
-        with np.load(path, allow_pickle=False) as data:
+        if mmap_mode is not None:
+            data = npz_mapping(path, mmap_mode=mmap_mode)
             trace = ProbeTrace.from_npz_mapping(data)
             payload = json.loads(str(data["cell"][()]))
+        else:
+            with np.load(path, allow_pickle=False) as data:
+                trace = ProbeTrace.from_npz_mapping(data)
+                payload = json.loads(str(data["cell"][()]))
         if payload.get("entry_version") != ENTRY_FORMAT_VERSION:
             raise AnalysisError(
                 f"entry version {payload.get('entry_version')!r}, "

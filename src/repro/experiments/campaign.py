@@ -278,7 +278,8 @@ def _cell_metrics(trace: ProbeTrace) -> dict[str, float]:
 
 
 def _run_cell(spec: CampaignSpec, delta: float, seed: int,
-              span_dir: Optional[Path] = None) -> CellResult:
+              span_dir: Optional[Path] = None,
+              replay_memo: bool = True) -> CellResult:
     """Execute one (delta, seed) cell and return its full result.
 
     Pure with respect to the campaign result: the simulated outcome reads
@@ -299,7 +300,7 @@ def _run_cell(spec: CampaignSpec, delta: float, seed: int,
                               scenario_kwargs=dict(spec.scenario_kwargs),
                               mode=getattr(spec, "mode", "event"))
     if config.mode == "analytic":
-        return _run_cell_analytic(config, span_dir)
+        return _run_cell_analytic(config, span_dir, replay_memo)
     if span_dir is None:
         trace, scenario, wall = run_experiment_timed(config)
         return CellResult(delta=delta, seed=seed, trace=trace,
@@ -327,20 +328,30 @@ def _run_cell(spec: CampaignSpec, delta: float, seed: int,
 
 
 def _run_cell_analytic(config: ExperimentConfig,
-                       span_dir: Optional[Path]) -> CellResult:
+                       span_dir: Optional[Path],
+                       replay_memo: bool = True) -> CellResult:
     """The analytic-mode cell body: fast-forward instead of simulate.
 
     Queue statistics come from the fast-forward engine itself (the event
     network's queues never ran; on an event fallback the engine reports
     the network queues as usual).  The ``sim`` span covers the engine
-    run, mirroring the event path's phase split.
+    run, mirroring the event path's phase split (memo misses add a nested
+    ``replay`` span).  With ``replay_memo`` the engine reuses this
+    process's :class:`~repro.experiments.fastforward.CrossReplayMemo`
+    across cells of the same seed; the memo is pure reuse of
+    deterministic streams, so results are byte-identical with it on or
+    off.
     """
     # Imported here, like the runner does, so event-only campaigns never
     # pay for (or depend on) the analytic engine.
-    from repro.experiments.fastforward import run_fastforward_experiment
+    from repro.experiments.fastforward import (
+        process_replay_memo,
+        run_fastforward_experiment,
+    )
+    memo = process_replay_memo() if replay_memo else None
     if span_dir is None:
         started = perf_counter()  # repro: noqa[FLOW001]
-        result = run_fastforward_experiment(config)
+        result = run_fastforward_experiment(config, memo=memo)
         wall = perf_counter() - started  # repro: noqa[FLOW001]
         return CellResult(delta=config.delta, seed=config.seed,
                           trace=result.trace, queue_stats=result.queue_stats,
@@ -351,7 +362,8 @@ def _run_cell_analytic(config: ExperimentConfig,
     with tracer.span(f"cell {key}", phase=PHASE_CELL, cell=key):
         started = perf_counter()  # repro: noqa[FLOW001]
         with tracer.span("sim", phase=PHASE_SIM):
-            result = run_fastforward_experiment(config)
+            result = run_fastforward_experiment(config, memo=memo,
+                                                tracer=tracer)
         wall = perf_counter() - started  # repro: noqa[FLOW001]
         with tracer.span("analysis", phase=PHASE_ANALYSIS):
             metrics = _cell_metrics(result.trace)
@@ -359,6 +371,30 @@ def _run_cell_analytic(config: ExperimentConfig,
     return CellResult(delta=config.delta, seed=config.seed,
                       trace=result.trace, queue_stats=result.queue_stats,
                       metrics=metrics, wall_seconds=wall)
+
+
+def _run_cell_counted(spec: CampaignSpec, delta: float, seed: int,
+                      span_dir: Optional[Path] = None,
+                      replay_memo: bool = True,
+                      ) -> Tuple[CellResult, int, int]:
+    """:func:`_run_cell` plus this process's replay-memo hit/miss deltas.
+
+    The spawn pool submits this wrapper so the parent can fold worker-side
+    :class:`~repro.experiments.fastforward.CrossReplayMemo` accounting
+    into ``timing.json`` — counters travel beside the cell, never inside
+    it, keeping the cell result identical to the serial path's.
+    """
+    counting = replay_memo and getattr(spec, "mode", "event") == "analytic"
+    if not counting:
+        return (_run_cell(spec, delta, seed, span_dir=span_dir,
+                          replay_memo=replay_memo), 0, 0)
+    from repro.experiments.fastforward import process_replay_memo
+    memo = process_replay_memo()
+    hits_before, misses_before = memo.counters()
+    cell = _run_cell(spec, delta, seed, span_dir=span_dir,
+                     replay_memo=replay_memo)
+    hits, misses = memo.counters()
+    return cell, hits - hits_before, misses - misses_before
 
 
 def _span(tracer: Optional[SpanTracer], name: str, phase: str,
@@ -444,7 +480,8 @@ def run_campaign(spec: CampaignSpec, workers: int = 1,
                  spans: Union[bool, str, Path, None] = None,
                  progress: ProgressLike = None,
                  pool: Union[str, WarmWorkerPool] = "warm",
-                 batch_size: Optional[int] = None) -> CampaignResult:
+                 batch_size: Optional[int] = None,
+                 replay_memo: bool = True) -> CampaignResult:
     """Execute every (delta, seed) cell of the campaign.
 
     Parameters
@@ -496,6 +533,15 @@ def run_campaign(spec: CampaignSpec, workers: int = 1,
         ``"off"`` (the default) is silent, and an existing
         :class:`~repro.obs.progress.ProgressReporter` is used as-is.
         Pure presentation on its stream — artifacts are unaffected.
+    replay_memo:
+        Reuse each seed's analytic cross-traffic replay across the cells
+        that share it (default on; event-mode campaigns ignore it).  The
+        memo is per-process — the serial path and each pool worker keep
+        their own — and analytic grids are leased seed-affine so a warm
+        worker's memo stays hot across its lease.  Hit/miss counts land
+        in ``timing.json``'s ``dispatch`` block (``replay_hits``/
+        ``replay_misses``); every deterministic artifact is byte-identical
+        with the memo on or off, so this flag is a pure execution knob.
     """
     if workers < 1:
         raise ConfigurationError(f"workers must be >= 1, got {workers}")
@@ -552,13 +598,18 @@ def run_campaign(spec: CampaignSpec, workers: int = 1,
         dispatch_stats: Dict[str, Any] = {
             "pool": "serial", "workers": workers, "leases": 0,
             "batch_size": 0, "shm_leases": 0, "inline_leases": 0,
-            "shm_bytes": 0,
+            "shm_bytes": 0, "replay_memo": bool(replay_memo),
+            "replay_hits": 0, "replay_misses": 0,
         }
         if not pending:
             pass
         elif workers == 1 and shared_pool is None:
             for delta, seed in pending:
-                cell = _run_cell(spec, delta, seed, span_dir=span_dir)
+                cell, replay_hits, replay_misses = _run_cell_counted(
+                    spec, delta, seed, span_dir=span_dir,
+                    replay_memo=replay_memo)
+                dispatch_stats["replay_hits"] += replay_hits
+                dispatch_stats["replay_misses"] += replay_misses
                 if reporter is not None:
                     reporter.cell_done(cell_key(delta, seed),
                                        cell.wall_seconds)
@@ -573,8 +624,9 @@ def run_campaign(spec: CampaignSpec, workers: int = 1,
                 futures = []
                 key_of = {}
                 for delta, seed in pending:
-                    future = exe.submit(_run_cell, spec, delta, seed,
-                                        span_dir=span_dir)
+                    future = exe.submit(_run_cell_counted, spec, delta,
+                                        seed, span_dir=span_dir,
+                                        replay_memo=replay_memo)
                     futures.append(future)
                     key_of[future] = cell_key(delta, seed)
                 if reporter is not None:
@@ -582,9 +634,12 @@ def run_campaign(spec: CampaignSpec, workers: int = 1,
                     # walks futures in submission (= grid) order.
                     for future in as_completed(futures):
                         reporter.cell_done(key_of[future],
-                                           future.result().wall_seconds)
+                                           future.result()[0].wall_seconds)
                 for future in futures:
-                    merge.add(future.result())
+                    cell, replay_hits, replay_misses = future.result()
+                    dispatch_stats["replay_hits"] += replay_hits
+                    dispatch_stats["replay_misses"] += replay_misses
+                    merge.add(cell)
         else:
             warm_pool = shared_pool if shared_pool is not None \
                 else WarmWorkerPool(workers)
@@ -595,13 +650,18 @@ def run_campaign(spec: CampaignSpec, workers: int = 1,
                 mode=spec.mode)
             leases = plan_leases(
                 pending, warm_pool.workers, batch_size=batch_size,
-                cell_seconds=estimate_cell_seconds(probe_config))
+                cell_seconds=estimate_cell_seconds(probe_config),
+                affinity="seed" if spec.mode == "analytic" else None)
             shm_bytes_before = warm_pool.shm_bytes
             shm_leases_before = warm_pool.shm_leases
             inline_before = warm_pool.inline_leases
             try:
-                for index, cells, _info in warm_pool.run_leases(
-                        spec, leases, span_dir=span_dir):
+                for index, cells, info in warm_pool.run_leases(
+                        spec, leases, span_dir=span_dir,
+                        replay_memo=replay_memo):
+                    dispatch_stats["replay_hits"] += info["replay_hits"]
+                    dispatch_stats["replay_misses"] += \
+                        info["replay_misses"]
                     with _span(tracer, f"lease {index} collect",
                                PHASE_LEASE):
                         for cell in cells:

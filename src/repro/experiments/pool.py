@@ -81,6 +81,7 @@ TARGET_LEASE_SECONDS = 2.0
 def plan_leases(cells: Sequence[Tuple[float, int]], workers: int,
                 batch_size: Optional[int] = None,
                 cell_seconds: Optional[float] = None,
+                affinity: Optional[str] = None,
                 ) -> List[List[Tuple[float, int]]]:
     """Partition grid cells into deterministic, contiguous lease batches.
 
@@ -95,10 +96,22 @@ def plan_leases(cells: Sequence[Tuple[float, int]], workers: int,
     batch when the per-cell duration estimate says one lease would exceed
     :data:`TARGET_LEASE_SECONDS` (expensive event-mode cells), so the tail
     of the grid stays balanced.
+
+    ``affinity="seed"`` regroups the cells seed-major before batching —
+    stably, so the δ order within one seed is the grid's — and never lets
+    a lease straddle a seed boundary.  Analytic campaigns use this so a
+    warm worker serving one lease replays each seed's cross traffic once
+    and hits its in-process :class:`~repro.experiments.fastforward.\
+CrossReplayMemo` for every further δ of that seed.  The merge re-orders
+    by grid index, so affinity changes only which worker computes a cell,
+    never any artifact byte.
     """
     if batch_size is not None and batch_size < 1:
         raise ConfigurationError(
             f"batch_size must be >= 1, got {batch_size}")
+    if affinity not in (None, "seed"):
+        raise ConfigurationError(
+            f"affinity must be None or 'seed', got {affinity!r}")
     cells = list(cells)
     if not cells:
         return []
@@ -108,6 +121,13 @@ def plan_leases(cells: Sequence[Tuple[float, int]], workers: int,
         if cell_seconds is not None and cell_seconds > 0:
             by_cost = max(1, int(TARGET_LEASE_SECONDS / cell_seconds))
             batch_size = max(1, min(batch_size, by_cost))
+    if affinity == "seed":
+        groups: Dict[int, List[Tuple[float, int]]] = {}
+        for cell in cells:
+            groups.setdefault(cell[1], []).append(cell)
+        return [group[i:i + batch_size]
+                for group in groups.values()
+                for i in range(0, len(group), batch_size)]
     return [cells[i:i + batch_size]
             for i in range(0, len(cells), batch_size)]
 
@@ -318,17 +338,36 @@ def _serve_lease(request: Dict[str, Any]) -> Dict[str, Any]:
     from repro.experiments.campaign import _run_cell
     spec = request["spec"]
     span_dir = request["span_dir"]
+    replay_memo = request.get("replay_memo", True)
+    # Replay-memo accounting rides in the lease payload (pipe message),
+    # never inside the packed cells: the parent folds the deltas into its
+    # timing.json dispatch block, keeping cell artifacts transport-blind.
+    memo = None
+    hits_before = misses_before = 0
+    if replay_memo and getattr(spec, "mode", "event") == "analytic":
+        from repro.experiments.fastforward import process_replay_memo
+        memo = process_replay_memo()
+        hits_before, misses_before = memo.counters()
     if span_dir is None:
-        results = [_run_cell(spec, delta, seed)
+        results = [_run_cell(spec, delta, seed, replay_memo=replay_memo)
                    for delta, seed in request["cells"]]
-        return pack_lease(results, use_shm=request["use_shm"])
-    tracer = SpanTracer()
-    with tracer.span(f"lease {request['index']}", phase=PHASE_LEASE):
-        results = [_run_cell(spec, delta, seed, span_dir=span_dir)
-                   for delta, seed in request["cells"]]
-        payload = pack_lease(results, use_shm=request["use_shm"],
-                             tracer=tracer)
-    append_spans(span_dir, tracer.records)
+        payload = pack_lease(results, use_shm=request["use_shm"])
+    else:
+        tracer = SpanTracer()
+        with tracer.span(f"lease {request['index']}", phase=PHASE_LEASE):
+            results = [_run_cell(spec, delta, seed, span_dir=span_dir,
+                                 replay_memo=replay_memo)
+                       for delta, seed in request["cells"]]
+            payload = pack_lease(results, use_shm=request["use_shm"],
+                                 tracer=tracer)
+        append_spans(span_dir, tracer.records)
+    if memo is not None:
+        hits, misses = memo.counters()
+        payload["replay_hits"] = hits - hits_before
+        payload["replay_misses"] = misses - misses_before
+    else:
+        payload["replay_hits"] = 0
+        payload["replay_misses"] = 0
     return payload
 
 
@@ -391,6 +430,10 @@ class WarmWorkerPool:
         self.shm_leases = 0
         self.inline_leases = 0
         self.shm_bytes = 0
+        #: Lifetime replay-memo accounting (worker-side CrossReplayMemo
+        #: hits/misses summed over every served lease).
+        self.replay_hits = 0
+        self.replay_misses = 0
 
     @property
     def started(self) -> bool:
@@ -446,6 +489,7 @@ class WarmWorkerPool:
     def run_leases(self, spec: Any,
                    leases: Sequence[Sequence[Tuple[float, int]]],
                    span_dir: Optional[Any] = None,
+                   replay_memo: bool = True,
                    ) -> Iterator[Tuple[int, List[Any], Dict[str, Any]]]:
         """Dispatch leases and yield ``(index, cells, info)`` as they land.
 
@@ -454,7 +498,9 @@ class WarmWorkerPool:
         finishing one immediately earns the next, so the pool stays busy
         without any global barrier.  A worker error or crash closes the
         pool (its pipes are in an unknown state) and raises
-        :class:`LeaseError`.
+        :class:`LeaseError`.  ``info`` carries the transport used plus the
+        lease's worker-side ``replay_hits``/``replay_misses`` deltas
+        (zero for event-mode or memo-disabled leases).
         """
         self.start()
         pending = deque(enumerate(leases))
@@ -462,7 +508,8 @@ class WarmWorkerPool:
         for conn in self._conns:
             if not pending:
                 break
-            self._dispatch(conn, pending.popleft(), spec, span_dir)
+            self._dispatch(conn, pending.popleft(), spec, span_dir,
+                           replay_memo)
             active[conn] = True  # type: ignore[assignment]
         while active:
             for conn in _wait_connections(list(active)):
@@ -478,23 +525,30 @@ class WarmWorkerPool:
                     raise LeaseError(
                         f"lease {index} failed in worker:\n{payload}")
                 cells, info = unpack_lease(payload)
+                info["replay_hits"] = payload.get("replay_hits", 0)
+                info["replay_misses"] = payload.get("replay_misses", 0)
                 self.leases_served += 1
+                self.replay_hits += info["replay_hits"]
+                self.replay_misses += info["replay_misses"]
                 if info["transport"] == "shm":
                     self.shm_leases += 1
                     self.shm_bytes += info["shm_bytes"]
                 else:
                     self.inline_leases += 1
                 if pending:
-                    self._dispatch(conn, pending.popleft(), spec, span_dir)
+                    self._dispatch(conn, pending.popleft(), spec, span_dir,
+                                   replay_memo)
                 else:
                     del active[conn]
                 yield index, cells, info
 
-    def _dispatch(self, conn, numbered_lease, spec, span_dir) -> None:
+    def _dispatch(self, conn, numbered_lease, spec, span_dir,
+                  replay_memo: bool = True) -> None:
         index, cells = numbered_lease
         conn.send(("lease", {"index": index, "spec": spec,
                              "cells": list(cells), "span_dir": span_dir,
-                             "use_shm": self.use_shm}))
+                             "use_shm": self.use_shm,
+                             "replay_memo": replay_memo}))
 
     def close(self) -> None:
         """Stop the workers; safe to call twice (and from error paths)."""

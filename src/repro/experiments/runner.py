@@ -67,7 +67,41 @@ def probe_scenario(scenario: Scenario, config: ExperimentConfig,
 #: *relative* scale matters — it sizes lease batches, never results.
 _EVENT_SECONDS_PER_SIM_SECOND = 0.07
 _ANALYTIC_BASE_SECONDS = 0.010
-_ANALYTIC_SECONDS_PER_SIM_SECOND = 0.0003
+#: Analytic cost is dominated by replaying each cross-traffic source's
+#: emission draws, so the slope is per *source* simulated second
+#: (calibrated on BENCH_fastforward's reference host: the default
+#: 4-source inria-umd mix costs ~0.35 ms per simulated second).
+_ANALYTIC_SECONDS_PER_SOURCE_SIM_SECOND = 9e-5
+
+#: Mix parameters the topology builders default when the spec omits them
+#: (:func:`repro.topology.inria_umd.build_inria_umd` /
+#: :func:`repro.topology.umd_pitt.build_umd_pitt` signatures).
+_SCENARIO_MIX_DEFAULTS = {
+    "inria-umd": {"utilization_fwd": 0.72, "utilization_rev": 0.64,
+                  "bulk_fraction": 0.85},
+    "umd-pitt": {"utilization_fwd": 0.55, "utilization_rev": 0.45,
+                 "bulk_fraction": 0.85},
+}
+
+
+def _cross_source_count(config: ExperimentConfig) -> int:
+    """Cross-traffic sources the configured scenario will build.
+
+    Mirrors the builders' wiring: each direction with positive
+    utilization gets an FTP source when ``bulk_fraction > 0`` and a
+    Telnet source when ``bulk_fraction < 1``
+    (:func:`repro.traffic.mix.attach_internet_mix`).
+    """
+    defaults = _SCENARIO_MIX_DEFAULTS.get(
+        config.scenario, _SCENARIO_MIX_DEFAULTS["inria-umd"])
+    kwargs = config.scenario_kwargs
+    bulk = kwargs.get("bulk_fraction", defaults["bulk_fraction"])
+    per_direction = (1 if bulk > 0 else 0) + (1 if bulk < 1 else 0)
+    count = 0
+    for key in ("utilization_fwd", "utilization_rev"):
+        if kwargs.get(key, defaults[key]) > 0:
+            count += per_direction
+    return count
 
 
 def estimate_cell_seconds(config: ExperimentConfig) -> float:
@@ -76,13 +110,16 @@ def estimate_cell_seconds(config: ExperimentConfig) -> float:
     Pure arithmetic on the configuration (no clocks, no trial runs):
     event-mode cost scales with the simulated horizon (warm-up plus probe
     train); analytic cells pay a small fixed setup plus a much shallower
-    slope.  The campaign dispatcher uses this to auto-tune lease batch
-    sizes — a wrong estimate costs balance, never correctness.
+    slope that scales with how many cross-traffic sources the scenario
+    replays — a lightly loaded one-direction scenario costs half the
+    default mix.  The campaign dispatcher uses this to auto-tune lease
+    batch sizes — a wrong estimate costs balance, never correctness.
     """
     horizon = config.warmup + config.duration
     if config.mode == "analytic":
         return (_ANALYTIC_BASE_SECONDS
-                + _ANALYTIC_SECONDS_PER_SIM_SECOND * horizon)
+                + _ANALYTIC_SECONDS_PER_SOURCE_SIM_SECOND
+                * _cross_source_count(config) * horizon)
     return max(1e-3, _EVENT_SECONDS_PER_SIM_SECOND * horizon)
 
 

@@ -54,6 +54,20 @@ class RandomDropFault(FaultModel):
             return True
         return False
 
+    def drops_many(self, count: int) -> np.ndarray:
+        """Drop decisions for ``count`` consecutive packets, as a mask.
+
+        Draw-for-draw identical to ``count`` sequential :meth:`drops`
+        calls: ``Generator.random(size=n)`` consumes the same underlying
+        doubles in the same order as ``n`` scalar draws, and the drop
+        counter advances by the same amount.  The analytic fast-forward
+        engine uses this to replay a whole probe train's decisions at one
+        fault stage in a single vectorized draw.
+        """
+        mask = self._rng.random(count) < self.probability
+        self.dropped += int(mask.sum())
+        return mask
+
 
 class PeriodicStallFault(FaultModel):
     """Freezes the transmitter for ``stall`` seconds every ``period`` seconds.

@@ -26,6 +26,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+import numpy as np
+
 from repro.errors import PacketFormatError
 from repro.units import BITS_PER_BYTE
 
@@ -116,6 +118,24 @@ def quantize_stamp(value: float) -> float:
     micros = int(round(value / _MICROSECOND))
     if micros >= _UNSET:
         raise PacketFormatError(f"timestamp {value} s overflows 48 bits")
+    return micros * _MICROSECOND
+
+
+def quantize_stamps(values) -> "np.ndarray":
+    """Vectorized :func:`quantize_stamp` over an array of readings.
+
+    Bit-identical to mapping :func:`quantize_stamp` over ``values``:
+    ``np.round`` applies the same round-half-even rule as Python's
+    ``round``, and every microsecond count below the 48-bit ceiling is
+    exactly representable in float64, so the final product matches the
+    scalar ``int * float`` result exactly.  Out-of-range readings defer
+    to the scalar path so the error message (and type) stay identical.
+    """
+    readings = np.asarray(values, dtype=float)
+    micros = np.round(readings / _MICROSECOND)
+    if readings.size and (readings.min() < 0 or micros.max() >= _UNSET):
+        for value in readings:        # pragma: no cover - error replay
+            quantize_stamp(float(value))
     return micros * _MICROSECOND
 
 

@@ -56,6 +56,9 @@ PHASE_MERGE = "merge"
 #: batch, and the shared-memory publish of its trace columns.
 PHASE_LEASE = "lease"
 PHASE_SHM = "shm"
+#: Analytic fast-forward cross-traffic replay: building one seed's
+#: CrossReplay streams (memo misses only; hits cost no span).
+PHASE_REPLAY = "replay"
 
 #: Per-worker span file pattern inside a span directory.
 _WORKER_FILE_PREFIX = "spans-w"

@@ -298,3 +298,66 @@ class TestInstrumentCache:
         assert flat["campaign/cache/bytes_read"] > 0
         assert flat["campaign/cache/bytes_written"] > 0
         assert flat["campaign/cache/corrupt_entries"] == 0
+
+
+class TestLoadMany:
+    """The batched lookup: one directory scan, memory-mapped entry reads."""
+
+    def grid_spec(self, **kwargs):
+        return small_spec(deltas=(0.05, 0.1), seeds=(1, 2),
+                          mode="analytic", duration=5.0, **kwargs)
+
+    def populate(self, tmp_path):
+        cache = CampaignCache(tmp_path)
+        spec = self.grid_spec()
+        run_campaign(spec, cache=cache)
+        return CampaignCache(tmp_path), spec  # fresh counters
+
+    def test_matches_per_cell_load(self, tmp_path):
+        cache, spec = self.populate(tmp_path)
+        grid = spec.cells()
+        batched = cache.load_many(spec, grid)
+        assert set(batched) == set(grid)
+        reference = CampaignCache(tmp_path)
+        for cell in grid:
+            single = reference.load(spec, *cell)
+            many = batched[cell]
+            np.testing.assert_array_equal(single.trace.rtts,
+                                          many.trace.rtts)
+            np.testing.assert_array_equal(single.trace.send_times,
+                                          many.trace.send_times)
+            assert single.queue_stats == many.queue_stats
+            assert single.metrics == many.metrics
+        assert cache.hits == len(grid)
+        assert cache.misses == 0
+
+    def test_partial_population_counts_misses(self, tmp_path):
+        cache, spec = self.populate(tmp_path)
+        grid = spec.cells()
+        extra = [(0.25, 1), (0.25, 2)]
+        batched = cache.load_many(spec, grid + extra)
+        assert set(batched) == set(grid)
+        assert cache.hits == len(grid)
+        assert cache.misses == len(extra)
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache, spec = self.populate(tmp_path)
+        entry = sorted(tmp_path.glob("*.npz"))[0]
+        raw = entry.read_bytes()
+        entry.write_bytes(raw[:len(raw) // 3])
+        batched = cache.load_many(spec, spec.cells())
+        assert len(batched) == len(spec.cells()) - 1
+        assert cache.corrupt_entries == 1
+        assert cache.misses == 1
+
+    def test_refresh_skips_every_entry(self, tmp_path):
+        cache, spec = self.populate(tmp_path)
+        refreshing = CampaignCache(tmp_path, refresh=True)
+        assert refreshing.load_many(spec, spec.cells()) == {}
+        assert refreshing.misses == len(spec.cells())
+
+    def test_empty_directory_all_misses(self, tmp_path):
+        cache = CampaignCache(tmp_path / "never-written")
+        spec = self.grid_spec()
+        assert cache.load_many(spec, spec.cells()) == {}
+        assert cache.misses == len(spec.cells())

@@ -170,7 +170,9 @@ class TestDispatchTelemetry:
         dispatch = read_timing(tmp_path / "timing.json")["dispatch"]
         assert dispatch == {"pool": "serial", "workers": 1, "leases": 0,
                             "batch_size": 0, "shm_leases": 0,
-                            "inline_leases": 0, "shm_bytes": 0}
+                            "inline_leases": 0, "shm_bytes": 0,
+                            "replay_memo": True, "replay_hits": 0,
+                            "replay_misses": 0}
 
     def test_dispatch_quarantined_outside_manifest(self, tmp_path):
         run_campaign(grid_spec(tmp_path), workers=2)

@@ -117,6 +117,45 @@ class TestPlanLeases:
             assert [cell for lease in leases for cell in lease] == cells
 
 
+class TestSeedAffinity:
+    #: δ-major grid order, the shape CampaignSpec.cells() produces.
+    GRID = [(delta, seed) for delta in (0.05, 0.1, 0.2) for seed in (1, 2)]
+
+    def test_regroups_seed_major_preserving_delta_order(self):
+        leases = plan_leases(self.GRID, workers=1, batch_size=3,
+                             affinity="seed")
+        assert leases == [[(0.05, 1), (0.1, 1), (0.2, 1)],
+                          [(0.05, 2), (0.1, 2), (0.2, 2)]]
+
+    def test_lease_never_straddles_seeds(self):
+        leases = plan_leases(self.GRID, workers=1, batch_size=2,
+                             affinity="seed")
+        for lease in leases:
+            assert len({seed for _, seed in lease}) == 1
+        assert leases == [[(0.05, 1), (0.1, 1)], [(0.2, 1)],
+                          [(0.05, 2), (0.1, 2)], [(0.2, 2)]]
+
+    def test_covers_grid_exactly(self):
+        for batch in (1, 2, 3, 7):
+            leases = plan_leases(self.GRID, workers=2, batch_size=batch,
+                                 affinity="seed")
+            flat = [cell for lease in leases for cell in lease]
+            assert sorted(flat) == sorted(self.GRID)
+            assert len(flat) == len(self.GRID)
+
+    def test_deterministic(self):
+        assert plan_leases(self.GRID, 2, affinity="seed") \
+            == plan_leases(self.GRID, 2, affinity="seed")
+
+    def test_none_affinity_unchanged(self):
+        assert plan_leases(self.GRID, 2, batch_size=2, affinity=None) \
+            == plan_leases(self.GRID, 2, batch_size=2)
+
+    def test_unknown_affinity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            plan_leases(self.GRID, 2, affinity="delta")
+
+
 class TestLeaseTransports:
     def test_shm_round_trip(self):
         originals = [make_cell(seed=1), make_cell(seed=2, n=33)]

@@ -1,0 +1,300 @@
+"""Cross-traffic replay reuse: prefix exactness, memoization, executors.
+
+The grid-batched analytic engine builds each seed's cross-traffic replay
+once and slices it per cell.  Correctness rests on one property — a
+replay built at a long horizon, cut at a shorter one, is *bit-identical*
+to a fresh build at that shorter horizon (emission generation truncates
+only the tail and every downstream pass is causal) — and on the memo
+being pure execution mechanics: artifacts are byte-identical with the
+memo on or off, across every campaign executor, and memo accounting
+never leaks outside ``timing.json``.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments import fastforward as ff
+from repro.experiments.cache import cache_salt, replay_fingerprint
+from repro.experiments.campaign import CampaignSpec, run_campaign
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import build_scenario
+from repro.obs.spans import PHASE_REPLAY, SpanTracer
+
+#: Light mix so replay builds stay fast; deep buffer so every cell takes
+#: the vectorized no-drop path.
+LIGHT_KWARGS = {"utilization_fwd": 0.3, "utilization_rev": 0.3,
+                "buffer_packets": 512}
+
+
+def config_for(delta=0.05, duration=5.0, seed=1, **overrides):
+    return ExperimentConfig(delta=delta, duration=duration, seed=seed,
+                            scenario="inria-umd",
+                            scenario_kwargs=dict(LIGHT_KWARGS),
+                            mode="analytic", **overrides)
+
+
+def assert_stream_prefix(long, short):
+    """``short`` must be a bitwise prefix of ``long`` (same build rules)."""
+    n = short.emit_times.size
+    assert np.array_equal(long.emit_times[:n], short.emit_times)
+    assert np.array_equal(long.arrivals[:n], short.arrivals)
+    assert np.array_equal(long.bits[:n], short.bits)
+    assert np.array_equal(long.peak_backlogs[:n], short.peak_backlogs)
+
+
+class TestPrefixProperty:
+    def test_short_build_is_bitwise_prefix_of_long(self):
+        long = ff.build_cross_replay(build_scenario(config_for()), 90.0)
+        short = ff.build_cross_replay(build_scenario(config_for()), 40.0)
+        for side in (0, 1):
+            assert_stream_prefix(long.streams[side], short.streams[side])
+
+    def test_slice_matches_fresh_build_across_deltas(self):
+        """One long replay serves every δ's horizon bit-for-bit."""
+        configs = [config_for(delta=delta)
+                   for delta in (0.02, 0.05, 0.1, 0.25)]
+        horizons = [ff.cell_horizon(config) for config in configs]
+        long = ff.build_cross_replay(build_scenario(configs[0]),
+                                     max(horizons))
+        for config, horizon in zip(configs, horizons):
+            fresh = ff.build_cross_replay(build_scenario(config), horizon)
+            for side in (0, 1):
+                sliced = ff.slice_stream(long.streams[side], horizon)
+                direct = ff.slice_stream(fresh.streams[side], horizon)
+                assert np.array_equal(sliced[0], direct[0])
+                assert np.array_equal(sliced[1], direct[1])
+
+    def test_slice_certificate_matches_fresh_scan(self):
+        """The running-peak lookup equals a fresh max/min certificate."""
+        scenario = build_scenario(config_for())
+        stream = ff.build_cross_replay(scenario, 60.0).streams[0]
+        for horizon in (10.0, 30.0, 60.0):
+            cut = int(np.searchsorted(stream.emit_times, horizon,
+                                      side="right"))
+            # The stored running peak at the cut must equal the fresh
+            # full-scan value over the same prefix (identical float ops).
+            fresh_build = ff.build_cross_replay(
+                build_scenario(config_for()), horizon).streams[0]
+            assert stream.peak_backlogs[cut - 1] == \
+                fresh_build.peak_backlogs[cut - 1]
+
+    def test_ftp_vectorized_burst_matches_scalar_loop(self):
+        """``np.repeat`` burst emission == the per-packet reference loop."""
+        from repro.net.packet import UDP_WIRE_OVERHEAD_BYTES
+        from repro.topology.inria_umd import build_inria_umd
+        from repro.traffic.ftp import FtpSource
+        from repro.units import bytes_to_bits
+
+        def reference_loop(source, horizon):
+            rng = source.rng
+            wire_bits = float(bytes_to_bits(source.payload_bytes
+                                            + UDP_WIRE_OVERHEAD_BYTES))
+            times, bits = [], []
+            t = rng.exponential(source._mean_session_interval)
+            while t <= horizon:
+                remaining = int(rng.geometric(source._file_size_p))
+                tick = t
+                while remaining > 0 and tick <= horizon:
+                    burst = min(source.window, remaining)
+                    for _ in range(burst):
+                        times.append(tick)
+                        bits.append(wire_bits)
+                    remaining -= burst
+                    if remaining > 0:
+                        tick = tick + source.window_interval
+                t = t + rng.exponential(source._mean_session_interval)
+            return np.asarray(times, dtype=float), np.asarray(bits)
+
+        def ftp_source(seed):
+            scenario = build_inria_umd(seed=seed, **LIGHT_KWARGS)
+            source = scenario.mix_fwd.sources[0]
+            assert isinstance(source, FtpSource)
+            return source
+
+        vec_times, vec_bits = ff._ftp_emissions(ftp_source(7), 60.0)
+        ref_times, ref_bits = reference_loop(ftp_source(7), 60.0)
+        assert vec_times.size > 0
+        assert np.array_equal(vec_times, ref_times)
+        assert np.array_equal(vec_bits, ref_bits)
+
+
+class TestReplayFingerprint:
+    def test_stable_and_salted(self):
+        key = replay_fingerprint("inria-umd", LIGHT_KWARGS, 1)
+        assert key == replay_fingerprint("inria-umd", dict(LIGHT_KWARGS), 1)
+        assert key == replay_fingerprint("inria-umd", LIGHT_KWARGS, 1,
+                                         salt=cache_salt())
+        assert key != replay_fingerprint("inria-umd", LIGHT_KWARGS, 1,
+                                         salt="other-code-version")
+
+    def test_sensitive_to_causal_inputs_only(self):
+        key = replay_fingerprint("inria-umd", LIGHT_KWARGS, 1)
+        assert key != replay_fingerprint("umd-pitt", LIGHT_KWARGS, 1)
+        assert key != replay_fingerprint("inria-umd", LIGHT_KWARGS, 2)
+        assert key != replay_fingerprint(
+            "inria-umd", dict(LIGHT_KWARGS, utilization_fwd=0.4), 1)
+
+    def test_delta_and_duration_excluded(self):
+        """Cells differing only in δ/duration share one replay key."""
+        assert ff.replay_key(config_for(delta=0.02, duration=5.0)) == \
+            ff.replay_key(config_for(delta=0.5, duration=60.0))
+
+
+class TestCrossReplayMemo:
+    def test_covering_horizon_hits(self):
+        memo = ff.CrossReplayMemo()
+        replay = ff.CrossReplay(horizon=50.0, streams=(None, None))
+        memo.put("k", replay)
+        assert memo.get("k", 30.0) is replay
+        assert memo.get("k", 50.0) is replay
+        assert memo.counters() == (2, 0)
+
+    def test_shorter_entry_misses(self):
+        memo = ff.CrossReplayMemo()
+        memo.put("k", ff.CrossReplay(horizon=20.0, streams=(None, None)))
+        assert memo.get("k", 30.0) is None
+        assert memo.counters() == (0, 1)
+
+    def test_lru_eviction_bounds_entries(self):
+        memo = ff.CrossReplayMemo(entries=2)
+        for key in ("a", "b", "c"):
+            memo.put(key, ff.CrossReplay(horizon=1.0,
+                                         streams=(None, None)))
+        assert len(memo) == 2
+        assert memo.get("a", 1.0) is None  # oldest evicted
+        assert memo.get("c", 1.0) is not None
+
+    def test_get_refreshes_recency(self):
+        memo = ff.CrossReplayMemo(entries=2)
+        memo.put("a", ff.CrossReplay(horizon=1.0, streams=(None, None)))
+        memo.put("b", ff.CrossReplay(horizon=1.0, streams=(None, None)))
+        memo.get("a", 1.0)
+        memo.put("c", ff.CrossReplay(horizon=1.0, streams=(None, None)))
+        assert memo.get("a", 1.0) is not None  # refreshed, "b" evicted
+        assert memo.get("b", 1.0) is None
+
+    def test_rejects_zero_entries(self):
+        with pytest.raises(ConfigurationError):
+            ff.CrossReplayMemo(entries=0)
+
+
+class TestGridExecution:
+    def grid(self, deltas=(0.05, 0.1), seeds=(1, 2)):
+        return [config_for(delta=delta, seed=seed)
+                for seed in seeds for delta in deltas]
+
+    def test_grid_matches_percell_bitwise(self):
+        configs = self.grid(deltas=(0.02, 0.05, 0.1), seeds=(1, 2))
+        percell = [ff.run_fastforward_experiment(c) for c in configs]
+        batched = ff.run_fastforward_grid(configs)
+        for one, many in zip(percell, batched):
+            assert one.mode_used == many.mode_used == "analytic"
+            assert np.array_equal(one.trace.rtts, many.trace.rtts,
+                                  equal_nan=True)
+            assert np.array_equal(one.trace.send_times,
+                                  many.trace.send_times)
+            assert one.queue_stats == many.queue_stats
+            assert one.trace.meta == many.trace.meta
+
+    def test_grid_builds_one_replay_per_seed(self):
+        configs = self.grid(deltas=(0.02, 0.05, 0.1), seeds=(1, 2))
+        memo = ff.CrossReplayMemo(entries=8)
+        ff.run_fastforward_grid(configs, memo=memo)
+        assert memo.misses == 2          # one build per seed
+        assert memo.hits == len(configs) - 2
+
+    def test_replay_span_on_miss_only(self):
+        memo = ff.CrossReplayMemo()
+        tracer = SpanTracer(worker="test")
+        config = config_for()
+        ff.run_fastforward_experiment(config, memo=memo, tracer=tracer)
+        ff.run_fastforward_experiment(config, memo=memo, tracer=tracer)
+        replay_spans = [r for r in tracer.records
+                        if r.phase == PHASE_REPLAY]
+        assert len(replay_spans) == 1    # second run hit the memo
+
+
+@pytest.fixture()
+def fresh_process_memo():
+    """Reset the process-global memo so hit/miss counts are deterministic."""
+    ff._process_memo = None
+    yield
+    ff._process_memo = None
+
+
+class TestExecutorMatrix:
+    """{serial, warm, spawn} × {memo on, off} ⇒ byte-identical artifacts."""
+
+    DETERMINISTIC = ("manifest.json", "trace_d50_s1.csv",
+                     "trace_d50_s2.csv", "trace_d100_s1.csv",
+                     "trace_d100_s2.csv")
+
+    def spec(self, tmp_path, name):
+        return CampaignSpec(deltas=(0.05, 0.1), seeds=(1, 2), duration=5.0,
+                            scenario_kwargs=dict(LIGHT_KWARGS),
+                            mode="analytic",
+                            output_dir=str(tmp_path / name))
+
+    def read_artifacts(self, tmp_path, name):
+        return {artifact: (tmp_path / name / artifact).read_bytes()
+                for artifact in self.DETERMINISTIC}
+
+    def test_artifacts_identical_across_executors_and_memo(self, tmp_path):
+        cache_salt()  # warm before forking so pool handshakes are cheap
+        runs = {
+            "serial-on": dict(workers=1, replay_memo=True),
+            "serial-off": dict(workers=1, replay_memo=False),
+            "warm-on": dict(workers=2, pool="warm", replay_memo=True),
+            "warm-off": dict(workers=2, pool="warm", replay_memo=False),
+            "spawn-on": dict(workers=2, pool="spawn", replay_memo=True),
+            "spawn-off": dict(workers=2, pool="spawn", replay_memo=False),
+        }
+        artifacts = {}
+        for name, kwargs in runs.items():
+            run_campaign(self.spec(tmp_path, name), **kwargs)
+            artifacts[name] = self.read_artifacts(tmp_path, name)
+        baseline = artifacts["serial-on"]
+        for name, files in artifacts.items():
+            assert files == baseline, \
+                f"{name} artifacts diverged from serial-on"
+
+    def test_serial_replay_accounting_in_timing(self, tmp_path,
+                                                fresh_process_memo):
+        run_campaign(self.spec(tmp_path, "counted"), workers=1)
+        timing = json.loads(
+            (tmp_path / "counted" / "timing.json").read_text())
+        dispatch = timing["dispatch"]
+        assert dispatch["replay_memo"] is True
+        # Grid order is δ-major (s1, s2, s1, s2): both seeds build once
+        # and stay resident, so the second δ sweep hits.
+        assert dispatch["replay_misses"] == 2
+        assert dispatch["replay_hits"] == 2
+
+    def test_memo_off_counts_nothing(self, tmp_path):
+        run_campaign(self.spec(tmp_path, "uncounted"), workers=1,
+                     replay_memo=False)
+        dispatch = json.loads(
+            (tmp_path / "uncounted" / "timing.json").read_text())["dispatch"]
+        assert dispatch["replay_memo"] is False
+        assert dispatch["replay_hits"] == 0
+        assert dispatch["replay_misses"] == 0
+
+    def test_warm_pool_replay_accounting_in_timing(self, tmp_path):
+        cache_salt()
+        result = run_campaign(self.spec(tmp_path, "warm-counted"),
+                              workers=2, pool="warm")
+        dispatch = result.dispatch_stats
+        assert dispatch["pool"] == "warm"
+        # Worker scheduling decides the split, but every build and every
+        # reuse is accounted: one event per cell.
+        assert dispatch["replay_hits"] + dispatch["replay_misses"] == 4
+        assert dispatch["replay_misses"] >= 2  # at least one per seed
+
+    def test_replay_accounting_never_in_manifest(self, tmp_path):
+        run_campaign(self.spec(tmp_path, "quarantine"), workers=1)
+        manifest = (tmp_path / "quarantine" / "manifest.json").read_text()
+        assert "replay" not in manifest
+        assert "memo" not in manifest

@@ -1,5 +1,6 @@
 """Unit tests for fault models."""
 
+import numpy as np
 import pytest
 
 from repro.errors import ConfigurationError
@@ -100,3 +101,40 @@ class TestRouteFlap:
         with pytest.raises(ConfigurationError):
             RouteFlapFault(sim, network.node("src"), "dst", "primary",
                            "backup", period=0.0)
+
+
+class TestDropsMany:
+    """Batched drop decisions must replay the scalar draw sequence."""
+
+    def make_fault(self, probability=0.3, seed=11):
+        return RandomDropFault(probability,
+                               rng=np.random.default_rng(seed))
+
+    def test_mask_matches_sequential_drops(self):
+        batched = self.make_fault()
+        scalar = self.make_fault()
+        mask = batched.drops_many(200)
+        expected = np.array([scalar.drops(None, None) for _ in range(200)])
+        assert np.array_equal(mask, expected)
+
+    def test_counter_advances_by_mask_sum(self):
+        fault = self.make_fault()
+        mask = fault.drops_many(500)
+        assert fault.dropped == int(mask.sum())
+
+    def test_generator_state_identical_after_batch(self):
+        batched = self.make_fault()
+        scalar = self.make_fault()
+        batched.drops_many(64)
+        for _ in range(64):
+            scalar.drops(None, None)
+        assert batched._rng.random() == scalar._rng.random()
+
+    def test_interleaved_batches_and_scalars(self):
+        mixed = self.make_fault()
+        scalar = self.make_fault()
+        decisions = list(mixed.drops_many(10))
+        decisions.append(mixed.drops(None, None))
+        decisions.extend(mixed.drops_many(5))
+        expected = [scalar.drops(None, None) for _ in range(16)]
+        assert decisions == expected

@@ -107,3 +107,37 @@ def test_roundtrip_property(seq, source, echo, dest, size):
             assert decoded is None
         else:
             assert decoded == pytest.approx(original, abs=1e-6)
+
+
+class TestQuantizeStamps:
+    """The vectorized quantizer must match the scalar, element for element."""
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=200_000.0),
+                    min_size=0, max_size=50))
+    @settings(max_examples=100, deadline=None)
+    def test_matches_scalar_quantize(self, values):
+        batched = packetfmt.quantize_stamps(values)
+        expected = [packetfmt.quantize_stamp(value) for value in values]
+        assert list(batched) == expected
+
+    def test_half_even_rounding_agrees(self):
+        # Exact .5-microsecond readings exercise banker's rounding.
+        values = [0.0000005, 0.0000015, 0.0000025, 1.0000005]
+        assert list(packetfmt.quantize_stamps(values)) == \
+            [packetfmt.quantize_stamp(value) for value in values]
+
+    def test_negative_raises_like_scalar(self):
+        with pytest.raises(PacketFormatError):
+            packetfmt.quantize_stamp(-1.0)
+        with pytest.raises(PacketFormatError):
+            packetfmt.quantize_stamps([0.5, -1.0])
+
+    def test_overflow_raises_like_scalar(self):
+        huge = 300_000_000.0  # microsecond count beyond the 48-bit field
+        with pytest.raises(PacketFormatError):
+            packetfmt.quantize_stamp(huge)
+        with pytest.raises(PacketFormatError):
+            packetfmt.quantize_stamps([0.5, huge])
+
+    def test_empty_input(self):
+        assert packetfmt.quantize_stamps([]).size == 0
